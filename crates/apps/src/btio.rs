@@ -1,0 +1,144 @@
+//! BTIO: the I/O-enabled NAS Parallel Benchmark BT (paper §5.1).
+//!
+//! "BTIO is an I/O-enabled version of the BT benchmark in the NAS NPB
+//! suite, solving 3-D Navier-Stokes equations.  The BT problem size used in
+//! our experiment is class C for all tests, with collective I/O turned on.
+//! With its default step size (200 steps) and I/O frequency (every 5
+//! steps), each test run generates a shared output file of about 6.4GB."
+//!
+//! Resource profile (Table 3): CPU High, Comm High, Write-only, MPI-IO.
+
+use crate::model::AppModel;
+use acic_cloudsim::units::{gib, mib};
+use acic_fsim::{IoApi, IoOp, IoPhase, Phase, Workload};
+
+/// NPB problem classes (only class C is used in the paper's evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BtClass {
+    /// Class B: smaller grid, ~1.7 GB output.
+    B,
+    /// Class C: the paper's configuration, ~6.4 GB output.
+    C,
+}
+
+/// A BTIO run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Btio {
+    /// MPI processes (must be a square for BT; the paper uses up to 256).
+    pub nprocs: usize,
+    /// Problem class.
+    pub class: BtClass,
+}
+
+impl Btio {
+    /// Time steps of the solver.
+    const STEPS: usize = 200;
+    /// I/O every this many steps.
+    const IO_EVERY: usize = 5;
+
+    /// Class-C BTIO at the given scale.
+    pub fn class_c(nprocs: usize) -> Self {
+        Self { nprocs, class: BtClass::C }
+    }
+
+    /// Total bytes of the shared output file.
+    pub fn output_bytes(&self) -> f64 {
+        match self.class {
+            BtClass::B => gib(1.7),
+            BtClass::C => gib(6.4),
+        }
+    }
+
+    /// Total solver core-seconds (CPU-High: BT does real flux computation).
+    fn core_secs(&self) -> f64 {
+        match self.class {
+            BtClass::B => 3_000.0,
+            BtClass::C => 11_000.0,
+        }
+    }
+
+    /// Non-scaling communication seconds per step (CPU/comm High).
+    fn comm_secs_per_step(&self) -> f64 {
+        0.012
+    }
+}
+
+impl AppModel for Btio {
+    fn name(&self) -> &'static str {
+        "BTIO"
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn workload(&self) -> Workload {
+        let io_phases = Self::STEPS / Self::IO_EVERY; // 40
+        let per_phase_total = self.output_bytes() / io_phases as f64; // ~160 MB
+        let per_proc = per_phase_total / self.nprocs as f64;
+        let compute_per_phase = self.core_secs() / self.nprocs as f64 / io_phases as f64
+            + Self::IO_EVERY as f64 * self.comm_secs_per_step();
+
+        let io = IoPhase {
+            io_procs: self.nprocs,
+            access: acic_fsim::Access::Sequential,
+            per_proc_bytes: per_proc,
+            // Each process appends its cell block in one MPI-IO call; the
+            // collective layer re-buffers it anyway.
+            request_size: per_proc.min(mib(16.0)),
+            op: IoOp::Write,
+            collective: true,
+            shared_file: true,
+            api: IoApi::MpiIo,
+        };
+        let mut phases = Vec::with_capacity(2 * io_phases);
+        for _ in 0..io_phases {
+            phases.push(Phase::Compute { secs: compute_per_phase });
+            phases.push(Phase::Io(io));
+        }
+        Workload::new(self.nprocs, phases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::profile;
+
+    #[test]
+    fn class_c_writes_6_4_gib_over_40_phases() {
+        let app = Btio::class_c(64);
+        let w = app.workload();
+        assert_eq!(w.io_phase_count(), 40);
+        assert!((w.total_io_bytes() - gib(6.4)).abs() < 1.0);
+        assert_eq!(w.nprocs, 64);
+    }
+
+    #[test]
+    fn compute_dominates_at_small_scale() {
+        // CPU-High: at 64 procs compute time far exceeds zero.
+        let w = Btio::class_c(64).workload();
+        assert!(w.total_compute_secs() > 100.0, "{}", w.total_compute_secs());
+        // And it shrinks with scale (strong scaling).
+        let w256 = Btio::class_c(256).workload();
+        assert!(w256.total_compute_secs() < w.total_compute_secs());
+    }
+
+    #[test]
+    fn profile_matches_published_characteristics() {
+        let c = profile(&Btio::class_c(256).trace()).unwrap();
+        assert_eq!(c.nprocs, 256);
+        assert_eq!(c.io_procs, 256);
+        assert_eq!(c.api, IoApi::MpiIo);
+        assert_eq!(c.op, IoOp::Write);
+        assert!(c.collective);
+        assert!(c.shared_file);
+        assert_eq!(c.iterations, 40);
+    }
+
+    #[test]
+    fn class_b_is_smaller() {
+        let b = Btio { nprocs: 64, class: BtClass::B };
+        assert!(b.output_bytes() < Btio::class_c(64).output_bytes());
+    }
+}

@@ -1,0 +1,120 @@
+//! FLASHIO: the FLASH astrophysics code's I/O kernel (paper §5.1).
+//!
+//! "FLASHIO is an I/O kernel derived from the full parallel FLASH
+//! simulation, a modular adaptive mesh astrophysics code.  It uses the
+//! parallel HDF5 I/O library to [write] a single checkpoint file around
+//! 15GB into disk periodically."
+//!
+//! Resource profile (Table 3): CPU Low, Comm Low, Write-only, HDF5 (the
+//! paper lists MPI-IO as the underlying transport; the interface dimension
+//! profiles as HDF5).  FLASH's signature I/O pattern is many
+//! modest, stripe-unaligned variable writes per block — which is what makes
+//! cache-less parallel file systems suffer and an async NFS server shine
+//! (Table 4: FLASHIO's optimum is NFS at both scales).
+
+use crate::model::AppModel;
+use acic_cloudsim::units::{gib, kib};
+use acic_fsim::{IoApi, IoOp, IoPhase, Phase, Workload};
+
+/// A FLASHIO run configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashIo {
+    /// MPI processes.
+    pub nprocs: usize,
+    /// Bytes of the checkpoint file (~15 GB in the paper).
+    pub checkpoint_bytes: f64,
+    /// Bytes of each of the two plot files the kernel also dumps.
+    pub plotfile_bytes: f64,
+}
+
+impl FlashIo {
+    /// The paper's configuration at the given scale: the FLASH I/O kernel
+    /// writes one checkpoint plus two (coarser) plot files.
+    pub fn paper(nprocs: usize) -> Self {
+        Self { nprocs, checkpoint_bytes: gib(15.0), plotfile_bytes: gib(3.0) }
+    }
+
+    /// AMR block variable write size: 24³ cells × 8 B ≈ 110 KB per
+    /// variable, batched a few blocks at a time — deliberately not a
+    /// multiple of common stripe sizes.
+    fn request_bytes() -> f64 {
+        kib(440.0)
+    }
+}
+
+impl AppModel for FlashIo {
+    fn name(&self) -> &'static str {
+        "FLASHIO"
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn workload(&self) -> Workload {
+        let dump = |bytes: f64| {
+            let per_proc = bytes / self.nprocs as f64;
+            Phase::Io(IoPhase {
+                io_procs: self.nprocs,
+                access: acic_fsim::Access::Sequential,
+                per_proc_bytes: per_proc,
+                request_size: Self::request_bytes().min(per_proc),
+                op: IoOp::Write,
+                collective: false, // FLASH I/O's default independent HDF5 mode
+                shared_file: true,
+                api: IoApi::Hdf5,
+            })
+        };
+        // CPU/comm Low: a short mesh-settle phase between dumps.
+        let compute = Phase::Compute { secs: 5.0 };
+        Workload::new(
+            self.nprocs,
+            vec![
+                compute,
+                dump(self.checkpoint_bytes),
+                compute,
+                dump(self.plotfile_bytes),
+                compute,
+                dump(self.plotfile_bytes),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::profile;
+
+    #[test]
+    fn paper_config_writes_checkpoint_plus_two_plotfiles() {
+        let w = FlashIo::paper(64).workload();
+        assert_eq!(w.io_phase_count(), 3);
+        assert!((w.total_io_bytes() - gib(21.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn compute_is_light() {
+        let w = FlashIo::paper(64).workload();
+        assert!(w.total_compute_secs() < 20.0, "CPU-Low kernel");
+    }
+
+    #[test]
+    fn requests_are_stripe_unaligned() {
+        use acic_cloudsim::units::mib;
+        let r = FlashIo::request_bytes();
+        assert_ne!(r % kib(64.0), 0.0, "not 64 KiB-aligned");
+        assert_ne!(r % mib(4.0), 0.0, "not 4 MiB-aligned");
+    }
+
+    #[test]
+    fn profile_reports_hdf5_writer() {
+        let c = profile(&FlashIo::paper(256).trace()).unwrap();
+        assert_eq!(c.api, IoApi::Hdf5);
+        assert_eq!(c.op, IoOp::Write);
+        assert!(!c.collective);
+        assert!(c.shared_file);
+        assert_eq!(c.io_procs, 256);
+        assert_eq!(c.iterations, 3);
+    }
+}

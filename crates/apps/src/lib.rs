@@ -1,0 +1,45 @@
+//! # acic-apps — the paper's four evaluation applications, as workload models
+//!
+//! The paper evaluates ACIC with four representative data-intensive parallel
+//! applications (§5.1, Table 3):
+//!
+//! | App        | Field     | CPU | Comm | R/W | API    |
+//! |------------|-----------|-----|------|-----|--------|
+//! | BTIO       | Physics   | H   | H    | W   | MPI-IO |
+//! | FLASHIO    | Astro     | L   | L    | W   | HDF5   |
+//! | mpiBLAST   | Biology   | M   | M    | R   | POSIX  |
+//! | MADbench2  | Cosmology | L   | M    | RW  | MPI-IO |
+//!
+//! We cannot run the real binaries (they need MPI, real inputs like the
+//! 84 GB `wgs` database, and a real cluster), so each is modeled as a
+//! *phase-accurate workload*: the published data volumes, I/O interfaces,
+//! process counts, and compute/communication intensities, expressed as a
+//! [`acic_fsim::Workload`].  ACIC itself treats applications as black boxes
+//! characterized by their I/O parameters, so this preserves exactly the
+//! information the system under study consumes.
+//!
+//! The crate also provides:
+//! * [`trace`] — call-level I/O traces derived from a workload (what the
+//!   paper's tracing library would record), and
+//! * [`profiler`] — the ACIC "IO Profiler" that turns a trace back into the
+//!   nine Table 1 application characteristics;
+//! * [`experts`] — the rule-based "User"/"Dev" manual configurators of the
+//!   §6 user study.
+
+pub mod btio;
+pub mod experts;
+pub mod flashio;
+pub mod madbench;
+pub mod model;
+pub mod mpiblast;
+pub mod profiler;
+pub mod trace;
+
+pub use btio::Btio;
+pub use experts::{ExpertChoice, ExpertKind};
+pub use flashio::FlashIo;
+pub use madbench::MadBench2;
+pub use model::AppModel;
+pub use mpiblast::MpiBlast;
+pub use profiler::{profile, IoCharacteristics};
+pub use trace::{trace_from_workload, IoTrace, TraceRecord};

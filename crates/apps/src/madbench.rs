@@ -1,0 +1,118 @@
+//! MADbench2: out-of-core CMB matrix analysis (paper §5.1).
+//!
+//! "MADBench2 is a 'stripped-down' version of the MADspec code, used in
+//! analyzing the Cosmic Microwave Background radiation datasets.  A matrix
+//! is written to disk once after each computation step and read back when
+//! it is required in a demand-driven fashion, creating both read and write
+//! workloads.  In our experiments, the output file is up to 32GB, accessed
+//! four times throughout the execution."
+//!
+//! Resource profile (Table 3): CPU Low, Comm Medium, Read+Write, MPI-IO.
+//! The write-everything-then-read-it-back pattern is what stresses the NFS
+//! page cache's capacity (FIFO eviction makes the oldest read-back miss)
+//! and rewards PVFS2's aggregate bandwidth — Table 4 picks 4 PVFS2 servers
+//! at both scales, and Figure 5(e) shows the paper's largest spread
+//! (10.5× over baseline at 256 processes).
+
+use crate::model::AppModel;
+use acic_cloudsim::units::{gib, mib};
+use acic_fsim::{IoApi, IoOp, IoPhase, Phase, Workload};
+
+/// A MADbench2 run configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MadBench2 {
+    /// MPI processes.
+    pub nprocs: usize,
+    /// Total bytes of the on-disk matrix file.
+    pub file_bytes: f64,
+}
+
+impl MadBench2 {
+    /// The matrix is written in two steps and read back in two steps
+    /// ("accessed four times").
+    const ACCESSES: usize = 4;
+
+    /// The paper's configuration: matrices grow with the process grid,
+    /// "up to 32GB" at 256 processes.
+    pub fn paper(nprocs: usize) -> Self {
+        let file_bytes = if nprocs >= 256 { gib(32.0) } else { gib(16.0) };
+        Self { nprocs, file_bytes }
+    }
+}
+
+impl AppModel for MadBench2 {
+    fn name(&self) -> &'static str {
+        "MADbench2"
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn workload(&self) -> Workload {
+        let per_access = self.file_bytes / 2.0; // two write steps, two reads
+        let per_proc = per_access / self.nprocs as f64;
+        let mk = |op: IoOp| IoPhase {
+            io_procs: self.nprocs,
+            access: acic_fsim::Access::Sequential,
+            per_proc_bytes: per_proc,
+            // Each process moves its matrix panel with large contiguous
+            // MPI-IO requests (stripe-aligned).
+            request_size: mib(8.0).min(per_proc),
+            op,
+            collective: false,
+            shared_file: true,
+            api: IoApi::MpiIo,
+        };
+        // dSdC-style schedule: W, W (build), then R, R (demand-driven use),
+        // with light busy-work between accesses (CPU Low, Comm Medium).
+        let compute = Phase::Compute { secs: 6.0 };
+        let mut phases = Vec::with_capacity(2 * Self::ACCESSES);
+        for op in [IoOp::Write, IoOp::Write, IoOp::Read, IoOp::Read] {
+            phases.push(Phase::Io(mk(op)));
+            phases.push(compute);
+        }
+        Workload::new(self.nprocs, phases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::profile;
+
+    #[test]
+    fn file_accessed_four_times() {
+        let w = MadBench2::paper(256).workload();
+        assert_eq!(w.io_phase_count(), 4);
+        // 32 GB file, each byte written once and read once → 64 GB moved.
+        assert!((w.total_io_bytes() - gib(64.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn smaller_matrices_at_smaller_scale() {
+        assert_eq!(MadBench2::paper(64).file_bytes, gib(16.0));
+        assert_eq!(MadBench2::paper(256).file_bytes, gib(32.0));
+    }
+
+    #[test]
+    fn profile_reports_mixed_read_write() {
+        let c = profile(&MadBench2::paper(64).trace()).unwrap();
+        assert!((c.read_fraction - 0.5).abs() < 1e-9, "half the bytes are reads");
+        assert_eq!(c.api, IoApi::MpiIo);
+        assert!(c.shared_file);
+        assert_eq!(c.iterations, 4);
+    }
+
+    #[test]
+    fn requests_are_stripe_aligned() {
+        use acic_cloudsim::units::kib;
+        let w = MadBench2::paper(64).workload();
+        for p in &w.phases {
+            if let Phase::Io(io) = p {
+                assert_eq!(io.request_size % kib(64.0), 0.0);
+                assert_eq!(io.request_size % mib(4.0), 0.0);
+            }
+        }
+    }
+}

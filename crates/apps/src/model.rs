@@ -1,0 +1,61 @@
+//! The common interface of application workload models.
+
+use crate::trace::{trace_from_workload, IoTrace};
+use acic_fsim::Workload;
+
+/// An application that can be executed on the simulated cloud and profiled
+/// by ACIC.
+pub trait AppModel {
+    /// Human-readable name (as printed in the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// Number of MPI processes of this instance.
+    fn nprocs(&self) -> usize;
+
+    /// The phase-level workload this instance executes.
+    fn workload(&self) -> Workload;
+
+    /// The I/O trace the paper's tracing library would record for one run
+    /// (derived mechanically from the workload).
+    fn trace(&self) -> IoTrace {
+        trace_from_workload(&self.workload())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_fsim::{IoApi, IoOp, IoPhase, Phase};
+
+    struct Fake;
+    impl AppModel for Fake {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn nprocs(&self) -> usize {
+            4
+        }
+        fn workload(&self) -> Workload {
+            Workload::new(
+                4,
+                vec![Phase::Io(IoPhase {
+                    io_procs: 4,
+                    access: acic_fsim::Access::Sequential,
+                    per_proc_bytes: 1024.0,
+                    request_size: 256.0,
+                    op: IoOp::Write,
+                    collective: false,
+                    shared_file: true,
+                    api: IoApi::Posix,
+                })],
+            )
+        }
+    }
+
+    #[test]
+    fn default_trace_comes_from_workload() {
+        let t = Fake.trace();
+        assert_eq!(t.nprocs, 4);
+        assert!(!t.records.is_empty());
+    }
+}

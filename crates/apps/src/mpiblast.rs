@@ -1,0 +1,115 @@
+//! mpiBLAST: parallel NCBI BLAST sequence search (paper §5.1).
+//!
+//! "In our tests, the 84GB wgs database is partitioned into 32 segments and
+//! there are around 1K query sequences sampled from itself.  Unlike
+//! parallel simulations, mpiBLAST has a rather read-intensive I/O pattern.
+//! We use the use-virtual-frags and replica-group-size settings to tune the
+//! number of processes reading the database (called I/O processes)."
+//!
+//! Resource profile (Table 3): CPU Medium, Comm Medium, Read, POSIX.
+//! The paper's Table 4 and Figures 5(d)/6(c) vary the *I/O process* count
+//! (32/64/128) — mirrored by [`MpiBlast::io_procs`].
+
+use crate::model::AppModel;
+use acic_cloudsim::units::{gib, mib};
+use acic_fsim::{IoApi, IoOp, IoPhase, Phase, Workload};
+
+/// An mpiBLAST run configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpiBlast {
+    /// Total MPI processes.
+    pub nprocs: usize,
+    /// Processes reading database fragments concurrently.
+    pub io_procs: usize,
+    /// Database size in bytes.
+    pub db_bytes: f64,
+}
+
+impl MpiBlast {
+    /// Search rounds: the scheduler streams fragment batches to workers.
+    const ROUNDS: usize = 4;
+
+    /// The paper's configuration with the given I/O process count (the
+    /// worker pool matches it; one process is the scheduler, ignored).
+    pub fn paper(io_procs: usize) -> Self {
+        Self { nprocs: io_procs, io_procs, db_bytes: gib(84.0) }
+    }
+
+    /// Total search core-seconds over the whole database (CPU Medium —
+    /// comparable to the I/O time on a fast configuration).
+    fn core_secs(&self) -> f64 {
+        11_000.0
+    }
+}
+
+impl AppModel for MpiBlast {
+    fn name(&self) -> &'static str {
+        "mpiBLAST"
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn workload(&self) -> Workload {
+        let per_round = self.db_bytes / Self::ROUNDS as f64;
+        let per_proc = per_round / self.io_procs as f64;
+        let io = IoPhase {
+            io_procs: self.io_procs,
+            access: acic_fsim::Access::Sequential,
+            per_proc_bytes: per_proc,
+            // Fragment files are scanned with ~1 MB buffered POSIX reads.
+            request_size: mib(1.0).min(per_proc),
+            op: IoOp::Read,
+            collective: false,
+            shared_file: false, // per-fragment files
+            api: IoApi::Posix,
+        };
+        let compute_per_round = self.core_secs() / self.nprocs as f64 / Self::ROUNDS as f64;
+        let mut phases = Vec::with_capacity(2 * Self::ROUNDS);
+        for _ in 0..Self::ROUNDS {
+            phases.push(Phase::Io(io));
+            phases.push(Phase::Compute { secs: compute_per_round });
+        }
+        Workload::new(self.nprocs, phases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::profile;
+
+    #[test]
+    fn reads_the_whole_database_once() {
+        let w = MpiBlast::paper(32).workload();
+        assert!((w.total_io_bytes() - gib(84.0)).abs() < 1.0);
+        assert_eq!(w.io_phase_count(), 4);
+    }
+
+    #[test]
+    fn more_io_procs_shrink_per_proc_share() {
+        let w32 = MpiBlast::paper(32).workload();
+        let w128 = MpiBlast::paper(128).workload();
+        // Same total volume, split across more readers.
+        assert!((w32.total_io_bytes() - w128.total_io_bytes()).abs() < 1.0);
+    }
+
+    #[test]
+    fn profile_reports_posix_reader_with_private_files() {
+        let c = profile(&MpiBlast::paper(64).trace()).unwrap();
+        assert_eq!(c.api, IoApi::Posix);
+        assert_eq!(c.op, IoOp::Read);
+        assert!((c.read_fraction - 1.0).abs() < 1e-12);
+        assert!(!c.collective);
+        assert!(!c.shared_file);
+        assert_eq!(c.io_procs, 64);
+    }
+
+    #[test]
+    fn compute_is_medium_scale() {
+        let w = MpiBlast::paper(32).workload();
+        let c = w.total_compute_secs();
+        assert!(c > 100.0 && c < 1000.0, "medium CPU, got {c}");
+    }
+}

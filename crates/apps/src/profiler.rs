@@ -1,0 +1,218 @@
+//! The ACIC "IO Profiler": reduce a run trace to the nine Table 1
+//! application I/O characteristics.
+//!
+//! "We include a simple tool for collecting ACIC-relevant application I/O
+//! characteristics encompassing a tracing library and scripts for parsing
+//! and statistically summarizing I/O traces" (paper §3.2).
+
+use crate::trace::IoTrace;
+use acic_fsim::{IoApi, IoOp};
+use std::collections::BTreeSet;
+
+/// The application half of the ACIC exploration space, as extracted from a
+/// trace (paper §3.2's parameter list).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoCharacteristics {
+    /// Total processes in the run.
+    pub nprocs: usize,
+    /// Processes performing I/O simultaneously.
+    pub io_procs: usize,
+    /// Dominant I/O interface (by bytes moved).
+    pub api: IoApi,
+    /// Number of I/O iterations.
+    pub iterations: usize,
+    /// Bytes a typical I/O process moves per iteration (median).
+    pub data_size: f64,
+    /// Bytes of a typical I/O call (median of per-record bytes/calls).
+    pub request_size: f64,
+    /// Dominant operation by bytes moved.
+    pub op: IoOp,
+    /// Fraction of traced bytes that were reads (1.0 = pure read);
+    /// auxiliary detail beyond the binary Table 1 parameter.
+    pub read_fraction: f64,
+    /// Majority collective flag (by bytes).
+    pub collective: bool,
+    /// Majority shared-file flag (by bytes).
+    pub shared_file: bool,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Summarize a trace into characteristics.  Returns `None` for traces with
+/// no I/O records (nothing to configure for).
+pub fn profile(trace: &IoTrace) -> Option<IoCharacteristics> {
+    if trace.records.is_empty() {
+        return None;
+    }
+
+    // I/O processes: the widest simultaneous participation in any phase.
+    let iterations = trace.iterations();
+    let mut io_procs = 0usize;
+    for it in 0..iterations {
+        let ranks: BTreeSet<usize> = trace
+            .records
+            .iter()
+            .filter(|r| r.iteration == it)
+            .map(|r| r.rank)
+            .collect();
+        io_procs = io_procs.max(ranks.len());
+    }
+
+    // Byte-weighted votes for the categorical characteristics.
+    let total: f64 = trace.total_bytes();
+    let read_bytes: f64 = trace
+        .records
+        .iter()
+        .filter(|r| r.op == IoOp::Read)
+        .map(|r| r.bytes)
+        .sum();
+    let coll_bytes: f64 = trace
+        .records
+        .iter()
+        .filter(|r| r.collective)
+        .map(|r| r.bytes)
+        .sum();
+    let shared_bytes: f64 = trace
+        .records
+        .iter()
+        .filter(|r| r.shared_file)
+        .map(|r| r.bytes)
+        .sum();
+    let mut api_bytes: Vec<(IoApi, f64)> = Vec::new();
+    for r in &trace.records {
+        match api_bytes.iter_mut().find(|(a, _)| *a == r.api) {
+            Some((_, b)) => *b += r.bytes,
+            None => api_bytes.push((r.api, r.bytes)),
+        }
+    }
+    let api = api_bytes
+        .into_iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(a, _)| a)?;
+
+    // Typical per-process-per-iteration volume and per-call size.
+    let data_size = median(trace.records.iter().map(|r| r.bytes).collect());
+    let request_size = median(
+        trace
+            .records
+            .iter()
+            .filter(|r| r.calls > 0)
+            .map(|r| r.bytes / r.calls as f64)
+            .collect(),
+    );
+
+    let read_fraction = if total > 0.0 { read_bytes / total } else { 0.0 };
+    Some(IoCharacteristics {
+        nprocs: trace.nprocs,
+        io_procs,
+        api,
+        iterations,
+        data_size,
+        request_size,
+        op: if read_fraction > 0.5 { IoOp::Read } else { IoOp::Write },
+        read_fraction,
+        collective: coll_bytes * 2.0 > total,
+        shared_file: shared_bytes * 2.0 > total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{trace_from_workload, TraceRecord};
+    use acic_cloudsim::units::mib;
+    use acic_fsim::{IoPhase, Phase, Workload};
+
+    fn record(op: IoOp, api: IoApi, bytes: f64, iteration: usize, rank: usize) -> TraceRecord {
+        TraceRecord {
+            rank,
+            iteration,
+            op,
+            api,
+            calls: 4,
+            bytes,
+            collective: false,
+            shared_file: true,
+        }
+    }
+
+    #[test]
+    fn empty_trace_profiles_to_none() {
+        let t = IoTrace { nprocs: 8, records: vec![] };
+        assert!(profile(&t).is_none());
+    }
+
+    #[test]
+    fn round_trips_a_simple_workload() {
+        let io = IoPhase {
+            io_procs: 32,
+            access: acic_fsim::Access::Sequential,
+            per_proc_bytes: mib(64.0),
+            request_size: mib(4.0),
+            op: IoOp::Write,
+            collective: true,
+            shared_file: true,
+            api: IoApi::MpiIo,
+        };
+        let w = Workload::new(64, vec![Phase::Io(io); 5]);
+        let c = profile(&trace_from_workload(&w)).unwrap();
+        assert_eq!(c.nprocs, 64);
+        assert_eq!(c.io_procs, 32);
+        assert_eq!(c.iterations, 5);
+        assert_eq!(c.api, IoApi::MpiIo);
+        assert_eq!(c.op, IoOp::Write);
+        assert_eq!(c.data_size, mib(64.0));
+        assert_eq!(c.request_size, mib(4.0));
+        assert!(c.collective);
+        assert!(c.shared_file);
+        assert_eq!(c.read_fraction, 0.0);
+    }
+
+    #[test]
+    fn dominant_op_is_by_bytes_not_record_count() {
+        // Many small writes, one huge read.
+        let mut records: Vec<TraceRecord> =
+            (0..9).map(|i| record(IoOp::Write, IoApi::Posix, mib(1.0), 0, i)).collect();
+        records.push(record(IoOp::Read, IoApi::Posix, mib(100.0), 0, 9));
+        let t = IoTrace { nprocs: 10, records };
+        let c = profile(&t).unwrap();
+        assert_eq!(c.op, IoOp::Read);
+        assert!(c.read_fraction > 0.9);
+    }
+
+    #[test]
+    fn dominant_api_is_by_bytes() {
+        let records = vec![
+            record(IoOp::Write, IoApi::Posix, mib(10.0), 0, 0),
+            record(IoOp::Write, IoApi::Hdf5, mib(90.0), 0, 1),
+        ];
+        let c = profile(&IoTrace { nprocs: 2, records }).unwrap();
+        assert_eq!(c.api, IoApi::Hdf5);
+    }
+
+    #[test]
+    fn io_procs_is_the_widest_phase() {
+        let mut records: Vec<TraceRecord> =
+            (0..4).map(|i| record(IoOp::Write, IoApi::Posix, mib(1.0), 0, i)).collect();
+        records.extend((0..16).map(|i| record(IoOp::Write, IoApi::Posix, mib(1.0), 1, i)));
+        let c = profile(&IoTrace { nprocs: 32, records }).unwrap();
+        assert_eq!(c.io_procs, 16);
+        assert_eq!(c.iterations, 2);
+    }
+
+    #[test]
+    fn request_size_is_bytes_per_call() {
+        let t = IoTrace {
+            nprocs: 1,
+            records: vec![record(IoOp::Write, IoApi::Posix, mib(16.0), 0, 0)],
+        };
+        let c = profile(&t).unwrap();
+        assert_eq!(c.request_size, mib(4.0), "16 MiB over 4 calls");
+    }
+}

@@ -1,0 +1,244 @@
+//! I/O traces: what an instrumentation library wrapped around the I/O
+//! primitives would record during a run (paper §3.2: "To extract parameters
+//! representing application's I/O characteristics, one can use existing
+//! profiling/tracing tools to instrument I/O primitives of the
+//! application, followed by trace collection/analysis").
+
+use acic_fsim::{IoApi, IoOp, Phase, Workload};
+
+/// Aggregated trace record: one per (rank, I/O phase).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// MPI rank that issued the calls.
+    pub rank: usize,
+    /// Which I/O iteration (0-based) of the run.
+    pub iteration: usize,
+    /// Operation direction.
+    pub op: IoOp,
+    /// Interface used.
+    pub api: IoApi,
+    /// Number of I/O calls this rank issued in this phase.
+    pub calls: usize,
+    /// Total bytes this rank moved in this phase.
+    pub bytes: f64,
+    /// Whether the calls were collective.
+    pub collective: bool,
+    /// Whether the target was a single shared file.
+    pub shared_file: bool,
+}
+
+/// A complete run trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoTrace {
+    /// Total MPI processes in the traced run.
+    pub nprocs: usize,
+    /// Per-(rank, phase) records.
+    pub records: Vec<TraceRecord>,
+}
+
+impl IoTrace {
+    /// Total bytes across the whole trace.
+    pub fn total_bytes(&self) -> f64 {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Number of distinct I/O iterations observed.
+    pub fn iterations(&self) -> usize {
+        self.records.iter().map(|r| r.iteration + 1).max().unwrap_or(0)
+    }
+
+    /// Serialize as the tracing library's log format: a versioned header
+    /// followed by one whitespace-separated record per line —
+    /// `rank iter op api calls bytes collective shared`.
+    pub fn to_log(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "acic-trace v1 nprocs={}", self.nprocs).unwrap();
+        for r in &self.records {
+            writeln!(
+                s,
+                "{} {} {} {} {} {} {} {}",
+                r.rank,
+                r.iteration,
+                match r.op {
+                    IoOp::Read => "R",
+                    IoOp::Write => "W",
+                },
+                match r.api {
+                    IoApi::Posix => "posix",
+                    IoApi::MpiIo => "mpiio",
+                    IoApi::Hdf5 => "hdf5",
+                    IoApi::NetCdf => "netcdf",
+                },
+                r.calls,
+                r.bytes,
+                u8::from(r.collective),
+                u8::from(r.shared_file),
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    /// Parse the [`Self::to_log`] format; returns a line-anchored error
+    /// message on malformed input.
+    pub fn from_log(text: &str) -> Result<IoTrace, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty trace")?;
+        let mut hparts = header.split_whitespace();
+        if hparts.next() != Some("acic-trace") || hparts.next() != Some("v1") {
+            return Err("unknown trace header".into());
+        }
+        let nprocs: usize = hparts
+            .next()
+            .and_then(|f| f.strip_prefix("nprocs="))
+            .and_then(|v| v.parse().ok())
+            .ok_or("missing nprocs in header")?;
+
+        let mut records = Vec::new();
+        for (lineno, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split_whitespace().collect();
+            if f.len() != 8 {
+                return Err(format!("line {}: expected 8 fields, got {}", lineno + 1, f.len()));
+            }
+            let err = |what: &str| format!("line {}: bad {what}", lineno + 1);
+            records.push(TraceRecord {
+                rank: f[0].parse().map_err(|_| err("rank"))?,
+                iteration: f[1].parse().map_err(|_| err("iteration"))?,
+                op: match f[2] {
+                    "R" => IoOp::Read,
+                    "W" => IoOp::Write,
+                    _ => return Err(err("op")),
+                },
+                api: match f[3] {
+                    "posix" => IoApi::Posix,
+                    "mpiio" => IoApi::MpiIo,
+                    "hdf5" => IoApi::Hdf5,
+                    "netcdf" => IoApi::NetCdf,
+                    _ => return Err(err("api")),
+                },
+                calls: f[4].parse().map_err(|_| err("calls"))?,
+                bytes: f[5].parse().map_err(|_| err("bytes"))?,
+                collective: f[6] == "1",
+                shared_file: f[7] == "1",
+            });
+        }
+        Ok(IoTrace { nprocs, records })
+    }
+}
+
+/// Derive the trace a tracing library would have produced for `workload`:
+/// each I/O phase yields one record per participating rank, with the ranks
+/// spread evenly over the process grid (matching the executor's placement).
+pub fn trace_from_workload(workload: &Workload) -> IoTrace {
+    let mut records = Vec::new();
+    let mut iteration = 0usize;
+    for phase in &workload.phases {
+        let io = match phase {
+            Phase::Io(io) => io,
+            Phase::Compute { .. } => continue,
+        };
+        let io_procs = io.io_procs.min(workload.nprocs).max(1);
+        let stride = workload.nprocs as f64 / io_procs as f64;
+        let calls = io.calls_per_proc() as usize;
+        for k in 0..io_procs {
+            records.push(TraceRecord {
+                rank: (k as f64 * stride) as usize,
+                iteration,
+                op: io.op,
+                api: io.api,
+                calls,
+                bytes: io.per_proc_bytes,
+                collective: io.collective,
+                shared_file: io.shared_file,
+            });
+        }
+        iteration += 1;
+    }
+    IoTrace { nprocs: workload.nprocs, records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_cloudsim::units::mib;
+    use acic_fsim::IoPhase;
+
+    fn workload(io_procs: usize, iters: usize) -> Workload {
+        let io = IoPhase {
+            io_procs,
+            access: acic_fsim::Access::Sequential,
+            per_proc_bytes: mib(32.0),
+            request_size: mib(4.0),
+            op: IoOp::Write,
+            collective: true,
+            shared_file: true,
+            api: IoApi::MpiIo,
+        };
+        let mut phases = Vec::new();
+        for _ in 0..iters {
+            phases.push(Phase::Compute { secs: 1.0 });
+            phases.push(Phase::Io(io));
+        }
+        Workload::new(64, phases)
+    }
+
+    #[test]
+    fn one_record_per_rank_per_phase() {
+        let t = trace_from_workload(&workload(64, 3));
+        assert_eq!(t.records.len(), 64 * 3);
+        assert_eq!(t.iterations(), 3);
+        assert_eq!(t.nprocs, 64);
+    }
+
+    #[test]
+    fn subset_of_io_procs_is_strided() {
+        let t = trace_from_workload(&workload(16, 1));
+        assert_eq!(t.records.len(), 16);
+        let ranks: Vec<usize> = t.records.iter().map(|r| r.rank).collect();
+        assert_eq!(ranks[0], 0);
+        assert_eq!(ranks[1], 4, "64 procs / 16 I/O procs → stride 4");
+        assert!(ranks.iter().all(|&r| r < 64));
+    }
+
+    #[test]
+    fn bytes_and_calls_match_phase_parameters() {
+        let t = trace_from_workload(&workload(64, 2));
+        for r in &t.records {
+            assert_eq!(r.bytes, mib(32.0));
+            assert_eq!(r.calls, 8, "32 MiB at 4 MiB per call");
+        }
+        assert_eq!(t.total_bytes(), 2.0 * 64.0 * mib(32.0));
+    }
+
+    #[test]
+    fn log_round_trips() {
+        let t = trace_from_workload(&workload(16, 3));
+        let log = t.to_log();
+        let back = IoTrace::from_log(&log).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn log_rejects_malformed_input() {
+        assert!(IoTrace::from_log("").is_err());
+        assert!(IoTrace::from_log("wrong header\n").is_err());
+        assert!(IoTrace::from_log("acic-trace v1 nprocs=4\n1 2 3\n").is_err());
+        assert!(IoTrace::from_log("acic-trace v1 nprocs=4\n0 0 X posix 4 100 0 1\n").is_err());
+        assert!(IoTrace::from_log("acic-trace v1 nprocs=4\n0 0 R nope 4 100 0 1\n").is_err());
+        assert!(IoTrace::from_log("acic-trace v2 nprocs=4\n").is_err());
+        // Blank lines are tolerated.
+        assert!(IoTrace::from_log("acic-trace v1 nprocs=4\n\n0 0 R posix 4 100 0 1\n").is_ok());
+    }
+
+    #[test]
+    fn compute_phases_leave_no_records() {
+        let w = Workload::new(8, vec![Phase::Compute { secs: 5.0 }]);
+        let t = trace_from_workload(&w);
+        assert!(t.records.is_empty());
+        assert_eq!(t.iterations(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion benches of the end-to-end ACIC query path: profiling an
+//! application trace, joining with all candidates, and top-k ranking —
+//! the operation the paper argues is "negligible compared to the training
+//! data collection cost" (§4.2) — plus the PB-guided walk alternative.
+
+use acic::profile::app_point_from;
+use acic::walk::guided_walk;
+use acic::{Acic, Objective, Trainer};
+use acic_apps::{profile, AppModel, MadBench2};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_query(c: &mut Criterion) {
+    let acic = Acic::with_paper_ranking(5, 1).expect("bootstrap failed");
+    let app = MadBench2::paper(64);
+
+    c.bench_function("query/profile_trace", |b| {
+        b.iter(|| black_box(profile(&app.trace()).unwrap().io_procs));
+    });
+
+    let point = app_point_from(&profile(&app.trace()).unwrap());
+    c.bench_function("query/rank_all_candidates", |b| {
+        b.iter(|| black_box(acic.recommend(&point, Objective::Performance, usize::MAX).len()));
+    });
+
+    let mut g = c.benchmark_group("walk");
+    g.sample_size(10);
+    let ranking = Trainer::with_paper_ranking(1).ranking;
+    g.bench_function("pb_guided_walk", |b| {
+        b.iter(|| black_box(guided_walk(&ranking, &point, Objective::Cost, 5).unwrap().runs));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches of the Plackett–Burman machinery: matrix
+//! construction, effect ranking, and the full 32-run screening campaign
+//! over the simulated cloud.
+
+use acic::objective::Objective;
+use acic::reducer::reduce;
+use acic_pbdesign::{foldover, rank_by_effect, PbMatrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pb_matrix");
+    for &n in &[7usize, 15, 23] {
+        g.bench_with_input(BenchmarkId::new("construct", n), &n, |b, &n| {
+            b.iter(|| black_box(PbMatrix::new(n).n_runs()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_effects(c: &mut Criterion) {
+    let m = foldover(&PbMatrix::new(15));
+    let responses: Vec<f64> = (0..m.n_runs()).map(|i| (i * 37 % 101) as f64).collect();
+    c.bench_function("pb_effects/rank_15_params", |b| {
+        b.iter(|| black_box(rank_by_effect(&m, &responses).len()));
+    });
+}
+
+fn bench_full_screen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pb_screen");
+    g.sample_size(10);
+    g.bench_function("reduce_32_ior_runs", |b| {
+        b.iter(|| black_box(reduce(Objective::Performance, 42).unwrap().runs));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matrix, bench_effects, bench_full_screen);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches of the cloud-simulator substrate: raw engine event
+//! processing, cluster construction, and end-to-end IOR runs of varying
+//! weight (the unit of work every ACIC experiment is made of).
+
+use acic_cloudsim::cluster::{Cluster, ClusterSpec, Placement};
+use acic_cloudsim::device::DeviceKind;
+use acic_cloudsim::engine::Simulation;
+use acic_cloudsim::flow::FlowSpec;
+use acic_cloudsim::instance::InstanceType;
+use acic_cloudsim::raid::Raid0;
+use acic_cloudsim::rng::SplitMix64;
+use acic_cloudsim::units::mib;
+use acic_fsim::{FsConfig, IoSystem};
+use acic_iobench::{run_ior, IorConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for &n_flows in &[10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("maxmin_flows", n_flows), &n_flows, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new();
+                let r1 = sim.add_resource("a", 1e9);
+                let r2 = sim.add_resource("b", 5e8);
+                for i in 0..n {
+                    let spec = if i % 2 == 0 {
+                        FlowSpec::new(1e6 + i as f64).through(r1)
+                    } else {
+                        FlowSpec::new(1e6 + i as f64).through(r1).through(r2)
+                    };
+                    sim.add_flow(spec);
+                }
+                black_box(sim.run().unwrap().makespan())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cluster_build(c: &mut Criterion) {
+    c.bench_function("cluster/build_16_nodes_4_servers", |b| {
+        let spec = ClusterSpec {
+            instance_type: InstanceType::Cc2_8xlarge,
+            compute_instances: 16,
+            io_servers: 4,
+            placement: Placement::Dedicated,
+            storage: Raid0::new(DeviceKind::Ephemeral, 4),
+        };
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let mut rng = SplitMix64::new(7);
+            black_box(Cluster::build(spec, &mut sim, &mut rng).unwrap().nodes.len())
+        });
+    });
+}
+
+fn bench_ior(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ior");
+    g.sample_size(20);
+    let system = IoSystem {
+        cluster: ClusterSpec::for_procs(
+            InstanceType::Cc2_8xlarge,
+            64,
+            4,
+            Placement::Dedicated,
+            Raid0::new(DeviceKind::Ephemeral, 4),
+        ),
+        fs: FsConfig::pvfs2(mib(4.0)),
+    };
+    for &iters in &[1usize, 10, 100] {
+        g.bench_with_input(BenchmarkId::new("pvfs_write", iters), &iters, |b, &iters| {
+            let cfg = IorConfig { iterations: iters, ..Default::default() };
+            b.iter(|| black_box(run_ior(&system, &cfg, 1).unwrap().secs()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_cluster_build, bench_ior);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Regenerate **Figure 10**: the user study — manual configurations from
+//! an mpiBLAST user ("User") and core developer ("Dev"), their top-3
+//! variants after seeing the §5.6 insights ("User3"/"Dev3"), and ACIC,
+//! compared by improvement over the baseline for both objectives at
+//! 32/64/128 I/O processes.
+//!
+//! Paper takeaway: "Across all execution scales and both optimization
+//! goals, ACIC consistently provides better suggestion than the
+//! experienced human participants."
+
+use acic::objective::cost_saving_pct;
+use acic::Objective;
+use acic_apps::experts::{top3_choices, top_choice, ExpertGoal, ExpertKind};
+use acic_apps::MpiBlast;
+use acic_bench::{
+    acic_pick_metric, expert_to_config, headline_acic, rule, spectrum_for, AppRun,
+    EXPERIMENT_SEED,
+};
+
+fn main() {
+    println!("Figure 10: manual expert configurations vs ACIC (mpiBLAST)");
+    let acic = headline_acic();
+    println!("Training database: {} points.", acic.db.len());
+
+    for (objective, goal) in [
+        (Objective::Performance, ExpertGoal::Performance),
+        (Objective::Cost, ExpertGoal::Cost),
+    ] {
+        println!();
+        println!(
+            "Improvement over baseline, {} goal ({}):",
+            objective,
+            match objective {
+                Objective::Performance => "% time reduction",
+                Objective::Cost => "% cost saving",
+            }
+        );
+        let header = format!(
+            "{:<6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "procs", "User", "User3", "Dev", "Dev3", "ACIC"
+        );
+        println!("{header}");
+        println!("{}", rule(header.len()));
+
+        for io_procs in [32usize, 64, 128] {
+            let model = MpiBlast::paper(io_procs);
+            let run = AppRun { model: Box::new(model), label: format!("mpiBLAST-{io_procs}") };
+            let spectrum = spectrum_for(&run, EXPERIMENT_SEED).expect("sweep failed");
+            let base = spectrum.baseline().unwrap().metric(objective);
+
+            // Improvement % over baseline for a measured metric.
+            let pct = |metric: f64| cost_saving_pct(base, metric);
+            // An expert pick that cannot deploy at this scale falls back
+            // to the baseline (they would have to reconsider).
+            let measure = |cfg: acic::SystemConfig| {
+                spectrum.find(&cfg).map(|e| e.metric(objective)).unwrap_or(base)
+            };
+
+            let user = measure(expert_to_config(&top_choice(ExpertKind::User, goal, io_procs)));
+            let dev = measure(expert_to_config(&top_choice(ExpertKind::Dev, goal, io_procs)));
+            let user3 = top3_choices(ExpertKind::User, goal, io_procs)
+                .iter()
+                .map(|c| measure(expert_to_config(c)))
+                .fold(f64::INFINITY, f64::min);
+            let dev3 = top3_choices(ExpertKind::Dev, goal, io_procs)
+                .iter()
+                .map(|c| measure(expert_to_config(c)))
+                .fold(f64::INFINITY, f64::min);
+
+            let recs = acic
+                .recommend_for(run.model.as_ref(), objective, usize::MAX)
+                .expect("recommendation failed");
+            let ranked: Vec<_> =
+                recs.iter().map(|r| (r.config, r.predicted_improvement)).collect();
+            let (_, acic_metric) = acic_pick_metric(&spectrum, &ranked, objective);
+
+            println!(
+                "{:<6} {:>7.0}% {:>7.0}% {:>7.0}% {:>7.0}% {:>7.0}%",
+                io_procs,
+                pct(user),
+                pct(user3),
+                pct(dev),
+                pct(dev3),
+                pct(acic_metric),
+            );
+        }
+    }
+    println!();
+    println!("(Quoted manual picks are encoded in acic-apps::experts, e.g. the user's");
+    println!(" 'Eph.-P-NFS-1' for 32-process cost and the developer's 'Eph.-D-PVFS2-2-4MB'");
+    println!(" for 64-process performance.)");
+}

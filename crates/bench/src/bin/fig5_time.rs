@@ -1,0 +1,45 @@
+//! Regenerate **Figure 5**: total execution time of the test applications
+//! under every candidate configuration, with ACIC's recommendation placed
+//! in the spectrum and the speedups over the median (M) and baseline (B)
+//! configurations annotated.
+//!
+//! Paper reference annotations (speedup over M / B):
+//! `BTIO 1.1/1.4, 1.2/2.3 · FLASHIO 2.1/0.7, 1.2/2.5 ·
+//!  mpiBLAST 2.1/2.8, 2.4/2.4, 2.2/2.1 · MADbench2 1.9/2.2, 3.2/10.5`.
+
+use acic::Objective;
+use acic_bench::{evaluate_run, evaluation_runs, headline_acic, rule, HEADLINE_DIMS};
+
+fn main() {
+    println!("Figure 5: total execution time across all candidate configurations");
+    println!("(training: paper ranking, top {HEADLINE_DIMS} parameters)");
+    let acic = headline_acic();
+    println!("Training database: {} points.", acic.db.len());
+    println!();
+
+    let header = format!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9} {:>9}  {:>6} {:>6}  {}",
+        "Run", "best", "ACIC", "median", "baseline", "worst", "M:", "B:", "ACIC pick"
+    );
+    println!("{header}");
+    println!("{}", rule(header.len()));
+
+    for run in evaluation_runs() {
+        let ev = evaluate_run(&acic, &run, Objective::Performance).expect("evaluation failed");
+        println!(
+            "{:<14} {:>8.1}s {:>8.1}s {:>8.1}s {:>8.1}s {:>8.1}s  {:>5.1}x {:>5.1}x  {}",
+            ev.label,
+            ev.best_metric,
+            ev.acic_metric,
+            ev.median_metric,
+            ev.baseline_metric,
+            ev.worst_metric,
+            ev.median_metric / ev.acic_metric,
+            ev.baseline_metric / ev.acic_metric,
+            ev.acic_config.notation(),
+        );
+    }
+    println!();
+    println!("M: / B: columns are the paper's speedup annotations (eq. (2)):");
+    println!("ACIC's pick vs the median and baseline configurations.");
+}

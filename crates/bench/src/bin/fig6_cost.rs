@@ -1,0 +1,47 @@
+//! Regenerate **Figure 6**: total monetary cost of the test applications
+//! under every candidate configuration, with ACIC's recommendation placed
+//! in the spectrum and the cost savings over the median (M) and baseline
+//! (B) annotated (paper eq. (3)).
+//!
+//! Paper reference annotations (saving vs M / B):
+//! `BTIO 27/45%, 23/57% · FLASHIO 50/-40%, 37/66% ·
+//!  mpiBLAST 67/76%, 65/66%, 56/53% · MADbench2 56/64%, 64/89%`.
+
+use acic::objective::cost_saving_pct;
+use acic::Objective;
+use acic_bench::{evaluate_run, evaluation_runs, headline_acic, rule, HEADLINE_DIMS};
+
+fn main() {
+    println!("Figure 6: total monetary cost across all candidate configurations");
+    println!("(training: paper ranking, top {HEADLINE_DIMS} parameters; cost objective)");
+    let acic = headline_acic();
+    println!("Training database: {} points.", acic.db.len());
+    println!();
+
+    let header = format!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8}  {:>7} {:>7}  {}",
+        "Run", "best", "ACIC", "median", "baseline", "worst", "M save", "B save", "ACIC pick"
+    );
+    println!("{header}");
+    println!("{}", rule(header.len()));
+
+    for run in evaluation_runs() {
+        let ev = evaluate_run(&acic, &run, Objective::Cost).expect("evaluation failed");
+        println!(
+            "{:<14} {:>7.3}$ {:>7.3}$ {:>7.3}$ {:>7.3}$ {:>7.3}$  {:>6.0}% {:>6.0}%  {}",
+            ev.label,
+            ev.best_metric,
+            ev.acic_metric,
+            ev.median_metric,
+            ev.baseline_metric,
+            ev.worst_metric,
+            cost_saving_pct(ev.median_metric, ev.acic_metric),
+            cost_saving_pct(ev.baseline_metric, ev.acic_metric),
+            ev.acic_config.notation(),
+        );
+    }
+    println!();
+    println!("M/B save columns are the paper's cost-saving annotations (eq. (3)):");
+    println!("negative values mean the reference configuration was already better");
+    println!("(the paper sees this for FLASHIO-64, whose baseline is near-optimal).");
+}

@@ -1,0 +1,83 @@
+//! Regenerate **Figure 9**: comparing the three prediction approaches —
+//! random walk (10 random dimension orderings, with min/max range),
+//! PB-guided space walking, and the CART model — by the cost saving their
+//! chosen configuration achieves under the baseline, for eight
+//! application runs.
+//!
+//! Paper takeaway: "CART-based prediction delivers the best optimization
+//! results consistently.  The PB-guided space walking closely follows in
+//! most cases ... The random walking approach generates significantly
+//! inferior as well as less predictable optimization performance in half
+//! of the cases."
+
+use acic::objective::cost_saving_pct;
+use acic::profile::app_point_from;
+use acic::walk::{guided_walk, random_walk};
+use acic::{Objective, Trainer};
+use acic_bench::{
+    acic_pick_metric, evaluation_runs, headline_acic, rule, spectrum_for, EXPERIMENT_SEED,
+};
+use acic_apps::profile;
+
+/// Figure 9's eight runs (skips mpiBLAST-32 from the nine).
+const RUNS: [usize; 8] = [0, 1, 2, 3, 5, 6, 7, 8];
+
+fn main() {
+    println!("Figure 9: random walk vs PB-guided walk vs CART (cost saving under baseline)");
+    let acic = headline_acic();
+    let pb_ranking = Trainer::with_paper_ranking(EXPERIMENT_SEED).ranking;
+    println!("Training database: {} points.", acic.db.len());
+    println!();
+
+    let header = format!(
+        "{:<14} {:>22} {:>10} {:>10}",
+        "Run", "random walk (min..max)", "PB walk", "CART"
+    );
+    println!("{header}");
+    println!("{}", rule(header.len()));
+
+    let runs = evaluation_runs();
+    for &i in &RUNS {
+        let run = &runs[i];
+        let spectrum = spectrum_for(run, EXPERIMENT_SEED).expect("sweep failed");
+        let base = spectrum.baseline().unwrap().metric(Objective::Cost);
+        let app = app_point_from(&profile(&run.model.trace()).expect("apps do I/O"));
+
+        // Random walk: 10 orderings; report mean and range like the
+        // paper's error bars.
+        let mut randoms = Vec::new();
+        for s in 0..10u64 {
+            let w = random_walk(&app, Objective::Cost, EXPERIMENT_SEED ^ (s * 7717 + 13))
+                .expect("walk failed");
+            let metric = spectrum.find(&w.config).map(|e| e.cost).unwrap_or(base);
+            randoms.push(cost_saving_pct(base, metric));
+        }
+        let mean = randoms.iter().sum::<f64>() / randoms.len() as f64;
+        let lo = randoms.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = randoms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+        // PB-guided walk.
+        let pbw = guided_walk(&pb_ranking, &app, Objective::Cost, EXPERIMENT_SEED)
+            .expect("walk failed");
+        let pb_metric = spectrum.find(&pbw.config).map(|e| e.cost).unwrap_or(base);
+
+        // CART (co-champion median, as in Figures 5/6).
+        let recs = acic
+            .recommend_for(run.model.as_ref(), Objective::Cost, usize::MAX)
+            .expect("recommendation failed");
+        let ranked: Vec<_> = recs.iter().map(|r| (r.config, r.predicted_improvement)).collect();
+        let (_, cart_metric) = acic_pick_metric(&spectrum, &ranked, Objective::Cost);
+
+        println!(
+            "{:<14} {:>8.0}% ({:>4.0}..{:>3.0}%) {:>9.0}% {:>9.0}%",
+            run.label,
+            mean,
+            lo,
+            hi,
+            cost_saving_pct(base, pb_metric),
+            cost_saving_pct(base, cart_metric),
+        );
+    }
+    println!();
+    println!("(PB walk spends ~8 IOR runs per query; CART amortizes its training DB.)");
+}

@@ -1,0 +1,45 @@
+//! Regenerate **Table 1**: the 15 exploration-space parameters, their
+//! sampled value sets, and the importance ranks produced by the foldover
+//! Plackett–Burman screen (32 IOR runs on the simulated cloud), side by
+//! side with the paper's published ranks.
+
+use acic::objective::Objective;
+use acic::reducer::reduce;
+use acic::space::ParamId;
+use acic_bench::{rule, EXPERIMENT_SEED};
+
+fn main() {
+    let reduction = reduce(Objective::Performance, EXPERIMENT_SEED).expect("screen failed");
+    println!(
+        "Table 1: exploration-space parameters and PB ranks ({} foldover runs, ${:.2} simulated)",
+        reduction.runs, reduction.screen_cost_usd
+    );
+    let header = format!(
+        "{:<24} {:<40} {:>9} {:>11}",
+        "Name", "Value", "Our rank", "Paper rank"
+    );
+    println!("{header}");
+    println!("{}", rule(header.len()));
+
+    for (param, effect, rank) in &reduction.effects {
+        let values: Vec<String> =
+            (0..param.value_count()).map(|i| param.value_label(i)).collect();
+        println!(
+            "{:<24} {{{}}}{:>width$} {:>9} {:>11}",
+            param.name(),
+            values.join(", "),
+            "",
+            rank,
+            param.paper_rank(),
+            width = 40usize.saturating_sub(values.join(", ").len() + 2),
+        );
+        let _ = effect;
+    }
+
+    println!();
+    println!("Top of our ranking: {:?}", &reduction.ranking[..3]);
+    let paper_top3 = [ParamId::DataSize, ParamId::ReadWrite, ParamId::IoServers];
+    println!("Paper's top 3:      {paper_top3:?} (data size, operation type, I/O servers)");
+    let overlap = reduction.ranking[..3].iter().filter(|p| paper_top3.contains(p)).count();
+    println!("Top-3 overlap with the paper: {overlap}/3");
+}

@@ -1,0 +1,43 @@
+//! Regenerate **Table 4**: measured-optimal performance configurations for
+//! the nine application runs, from an exhaustive sweep of every candidate
+//! I/O configuration.
+//!
+//! Paper reference (optimal configs, performance goal):
+//! ```text
+//! BTIO-64       EBS  P NFS   1  -      FLASHIO-64   eph D NFS   1  -
+//! BTIO-256      eph  P PVFS2 4  4MB    FLASHIO-256  eph P NFS   1  -
+//! mpiBLAST-32   eph  P PVFS2 4  64KB   MADbench2-64 eph D PVFS2 4  4MB
+//! mpiBLAST-64   eph  D PVFS2 4  4MB    MADbench2-256 EBS D PVFS2 4 4MB
+//! mpiBLAST-128  eph  D PVFS2 4  4MB
+//! ```
+
+use acic::objective::Objective;
+use acic_bench::{evaluation_runs, fsecs, rule, spectrum_for, EXPERIMENT_SEED};
+
+fn main() {
+    println!("Table 4: optimal performance configurations (measured by exhaustive sweep)");
+    let header = format!(
+        "{:<14} {:>4}  {:<24} {:>10}  {:>10}  {:>7}",
+        "Application", "NP", "Optimal config", "Best time", "Base time", "Spread"
+    );
+    println!("{header}");
+    println!("{}", rule(header.len()));
+
+    for run in evaluation_runs() {
+        let spectrum = spectrum_for(&run, EXPERIMENT_SEED).expect("sweep failed");
+        let best = spectrum.best(Objective::Performance);
+        let base = spectrum.baseline().expect("baseline always deploys");
+        println!(
+            "{:<14} {:>4}  {:<24} {:>10}  {:>10}  {:>6.1}x",
+            run.label.split('-').next().unwrap(),
+            run.model.nprocs(),
+            best.config.notation(),
+            fsecs(best.secs),
+            fsecs(base.secs),
+            spectrum.spread(Objective::Performance),
+        );
+    }
+    println!();
+    println!("(Column meanings match the paper: NP = processes / I/O processes;");
+    println!(" notation fs[.servers].placement.device[.stripe]. Spread = worst/best.)");
+}

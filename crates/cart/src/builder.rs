@@ -1,0 +1,197 @@
+//! Top-down recursive tree induction.
+
+use crate::dataset::Dataset;
+use crate::split::best_split;
+use crate::tree::{Node, Tree};
+
+/// Stopping rules for tree growth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildParams {
+    /// Maximum depth of the tree (root = 0).
+    pub max_depth: usize,
+    /// Minimum rows required to attempt a split.
+    pub min_split: usize,
+    /// Minimum rows in each child.
+    pub min_leaf: usize,
+    /// Minimum fraction of the root SSE a split must remove.
+    pub min_gain_frac: f64,
+}
+
+impl Default for BuildParams {
+    fn default() -> Self {
+        Self { max_depth: 24, min_split: 8, min_leaf: 3, min_gain_frac: 1e-6 }
+    }
+}
+
+impl BuildParams {
+    /// Deliberately overgrown settings, for use before cost-complexity
+    /// pruning (grow big, prune back — the CART recipe).
+    pub fn overgrow() -> Self {
+        Self { max_depth: 30, min_split: 4, min_leaf: 2, min_gain_frac: 0.0 }
+    }
+}
+
+/// Build a regression tree on `data`.
+///
+/// # Panics
+/// Panics when `data` is empty — the caller decides what an untrained
+/// model should do, not this crate.
+pub fn build_tree(data: &Dataset, params: &BuildParams) -> Tree {
+    assert!(!data.is_empty(), "cannot build a tree on an empty dataset");
+    let idx: Vec<usize> = (0..data.len()).collect();
+    let root_sse = data.target_sse(&idx);
+    let mut nodes = Vec::new();
+    grow(data, &idx, params, root_sse, 0, &mut nodes);
+    Tree {
+        nodes,
+        feature_names: data.features.iter().map(|f| f.name.clone()).collect(),
+    }
+}
+
+/// Grow the subtree for `idx`, pushing nodes into the arena and returning
+/// the new subtree's root index.
+fn grow(
+    data: &Dataset,
+    idx: &[usize],
+    params: &BuildParams,
+    root_sse: f64,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let value = data.target_mean(idx);
+    let std = data.target_std(idx);
+    let n = idx.len();
+
+    let stop = depth >= params.max_depth || n < params.min_split;
+    let split = if stop { None } else { best_split(data, idx, params.min_leaf) };
+    let split = split.filter(|s| s.gain >= params.min_gain_frac * root_sse.max(1e-12));
+
+    match split {
+        None => {
+            nodes.push(Node::Leaf { value, std, n });
+            nodes.len() - 1
+        }
+        Some(s) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                .iter()
+                .partition(|&&i| s.rule.goes_left(data.rows[i][s.feature]));
+            debug_assert_eq!(left_idx.len(), s.left_count);
+            debug_assert_eq!(right_idx.len(), s.right_count);
+
+            // Reserve our slot so children land after their parent.
+            let at = nodes.len();
+            nodes.push(Node::Leaf { value, std, n }); // placeholder
+            let left = grow(data, &left_idx, params, root_sse, depth + 1, nodes);
+            let right = grow(data, &right_idx, params, root_sse, depth + 1, nodes);
+            nodes[at] = Node::Internal {
+                feature: s.feature,
+                rule: s.rule,
+                value,
+                std,
+                n,
+                left,
+                right,
+            };
+            at
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, Feature};
+
+    fn piecewise() -> Dataset {
+        // y = 10 for x<5; 50 for 5<=x<10; 90 for x>=10, slight noise-free.
+        let mut d = Dataset::new(vec![Feature::numeric("x")]);
+        for i in 0..15 {
+            let x = i as f64;
+            let y = if x < 5.0 { 10.0 } else if x < 10.0 { 50.0 } else { 90.0 };
+            d.push(vec![x], y);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_piecewise_constant_exactly() {
+        let d = piecewise();
+        let t = build_tree(&d, &BuildParams { min_split: 2, min_leaf: 1, ..Default::default() });
+        assert_eq!(t.predict(&[2.0]).value, 10.0);
+        assert_eq!(t.predict(&[7.0]).value, 50.0);
+        assert_eq!(t.predict(&[12.0]).value, 90.0);
+        assert_eq!(t.leaf_count(), 3, "three segments, three leaves");
+        assert_eq!(t.mse(&d), 0.0);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let mut d = Dataset::new(vec![Feature::numeric("x")]);
+        for i in 0..20 {
+            d.push(vec![i as f64], 42.0);
+        }
+        let t = build_tree(&d, &BuildParams::default());
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.predict(&[100.0]).value, 42.0);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let d = piecewise();
+        let t = build_tree(
+            &d,
+            &BuildParams { max_depth: 1, min_split: 2, min_leaf: 1, min_gain_frac: 0.0 },
+        );
+        assert!(t.depth() <= 1);
+        assert!(t.leaf_count() <= 2);
+    }
+
+    #[test]
+    fn min_split_limits_growth() {
+        let d = piecewise();
+        let t = build_tree(
+            &d,
+            &BuildParams { max_depth: 20, min_split: 16, min_leaf: 1, min_gain_frac: 0.0 },
+        );
+        assert_eq!(t.leaf_count(), 1, "15 rows < min_split 16");
+    }
+
+    #[test]
+    fn mixed_features_are_used() {
+        // Target depends on a categorical feature; numeric is noise.
+        let mut d = Dataset::new(vec![Feature::numeric("noise"), Feature::categorical("fs", 2)]);
+        for i in 0..30 {
+            let noise = (i * 7 % 13) as f64;
+            let c = (i % 2) as f64;
+            d.push(vec![noise, c], if c == 0.0 { 1.0 } else { 2.0 });
+        }
+        let t = build_tree(&d, &BuildParams { min_split: 4, min_leaf: 2, ..Default::default() });
+        assert_eq!(t.predict(&[5.0, 0.0]).value, 1.0);
+        assert_eq!(t.predict(&[5.0, 1.0]).value, 2.0);
+    }
+
+    #[test]
+    fn internal_nodes_carry_stats() {
+        let d = piecewise();
+        let t = build_tree(&d, &BuildParams { min_split: 2, min_leaf: 1, ..Default::default() });
+        let root = &t.nodes[0];
+        assert!(!root.is_leaf());
+        assert_eq!(root.n(), 15);
+        assert_eq!(root.value(), 50.0);
+        assert!(root.std() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let d = Dataset::new(vec![Feature::numeric("x")]);
+        let _ = build_tree(&d, &BuildParams::default());
+    }
+
+    #[test]
+    fn deterministic_given_same_data() {
+        let d = piecewise();
+        let p = BuildParams::default();
+        assert_eq!(build_tree(&d, &p), build_tree(&d, &p));
+    }
+}

@@ -1,0 +1,196 @@
+//! Feature schema and row storage for CART training.
+//!
+//! The ACIC exploration space mixes categorical dimensions (file system,
+//! device, placement, interface, ...) with numeric ones (data size, request
+//! size, process counts, ...); the dataset encodes both as `f64` cells and
+//! lets the schema say how each column is to be split.
+
+/// How a feature column is interpreted by the split search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Ordered numeric values; split by threshold (`x <= t`).
+    Numeric,
+    /// Unordered codes `0..arity`; split by subset membership.
+    Categorical {
+        /// Number of distinct category codes.
+        arity: u32,
+    },
+}
+
+/// One feature column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feature {
+    /// Display name (used by the Figure 4 renderer).
+    pub name: String,
+    /// Numeric or categorical.
+    pub kind: FeatureKind,
+}
+
+impl Feature {
+    /// A numeric feature.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Self { name: name.into(), kind: FeatureKind::Numeric }
+    }
+
+    /// A categorical feature with `arity` codes.
+    pub fn categorical(name: impl Into<String>, arity: u32) -> Self {
+        Self { name: name.into(), kind: FeatureKind::Categorical { arity } }
+    }
+}
+
+/// A regression training set: rows of features plus a target per row.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Column schema.
+    pub features: Vec<Feature>,
+    /// Row-major feature values (categorical cells hold the code as f64).
+    pub rows: Vec<Vec<f64>>,
+    /// Regression target per row.
+    pub targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Empty dataset over a schema.
+    pub fn new(features: Vec<Feature>) -> Self {
+        Self { features, rows: Vec::new(), targets: Vec::new() }
+    }
+
+    /// Append one observation.
+    ///
+    /// # Panics
+    /// If the row arity does not match the schema or a categorical cell is
+    /// out of range — both are programming errors in the feature encoder.
+    pub fn push(&mut self, row: Vec<f64>, target: f64) {
+        assert_eq!(row.len(), self.features.len(), "row arity mismatch");
+        for (j, f) in self.features.iter().enumerate() {
+            if let FeatureKind::Categorical { arity } = f.kind {
+                let code = row[j];
+                assert!(
+                    code.fract() == 0.0 && (0.0..f64::from(arity)).contains(&code),
+                    "categorical cell {j} out of range: {code} (arity {arity})"
+                );
+            }
+        }
+        self.rows.push(row);
+        self.targets.push(target);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no observations.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Mean of the target over the given row indices.
+    pub fn target_mean(&self, idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        idx.iter().map(|&i| self.targets[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    /// Population standard deviation of the target over the given rows.
+    pub fn target_std(&self, idx: &[usize]) -> f64 {
+        if idx.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.target_mean(idx);
+        let var = idx
+            .iter()
+            .map(|&i| {
+                let d = self.targets[i] - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / idx.len() as f64;
+        var.sqrt()
+    }
+
+    /// Sum of squared errors around the mean over the given rows.
+    pub fn target_sse(&self, idx: &[usize]) -> f64 {
+        let mean = self.target_mean(idx);
+        idx.iter()
+            .map(|&i| {
+                let d = self.targets[i] - mean;
+                d * d
+            })
+            .sum()
+    }
+
+    /// A new dataset containing only the given rows (used by k-fold CV and
+    /// bootstrap sampling).
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            features: self.features.clone(),
+            rows: idx.iter().map(|&i| self.rows[i].clone()).collect(),
+            targets: idx.iter().map(|&i| self.targets[i]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col() -> Dataset {
+        Dataset::new(vec![Feature::numeric("x"), Feature::categorical("c", 3)])
+    }
+
+    #[test]
+    fn push_and_stats() {
+        let mut d = two_col();
+        d.push(vec![1.0, 0.0], 10.0);
+        d.push(vec![2.0, 1.0], 20.0);
+        d.push(vec![3.0, 2.0], 30.0);
+        assert_eq!(d.len(), 3);
+        let all = [0usize, 1, 2];
+        assert_eq!(d.target_mean(&all), 20.0);
+        assert!((d.target_std(&all) - (200.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((d.target_sse(&all) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let d = two_col();
+        assert!(d.is_empty());
+        assert_eq!(d.target_mean(&[]), 0.0);
+        assert_eq!(d.target_std(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn wrong_arity_rejected() {
+        let mut d = two_col();
+        d.push(vec![1.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_category_rejected() {
+        let mut d = two_col();
+        d.push(vec![1.0, 3.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fractional_category_rejected() {
+        let mut d = two_col();
+        d.push(vec![1.0, 0.5], 1.0);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let mut d = two_col();
+        d.push(vec![1.0, 0.0], 10.0);
+        d.push(vec![2.0, 1.0], 20.0);
+        d.push(vec![3.0, 2.0], 30.0);
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.targets, vec![30.0, 10.0]);
+        assert_eq!(s.rows[0], vec![3.0, 2.0]);
+    }
+}

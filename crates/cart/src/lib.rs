@@ -1,0 +1,46 @@
+//! # acic-cart — Classification and Regression Trees, from scratch
+//!
+//! ACIC's prediction model is CART regression (paper §4.2, citing Breiman,
+//! Friedman, Olshen & Stone): "a decision tree based approach, requiring no
+//! knowledge about the prediction target, with trees built top-down
+//! recursively ... the optimal split minimizes the difference (e.g., root
+//! mean square) among the samples in the leaf nodes ... Eventually, the
+//! optimal decision tree is pruned to avoid over-fitting."
+//!
+//! This crate provides exactly that, specialized for regression on mixed
+//! categorical/numeric features (which the ACIC exploration space is):
+//!
+//! * [`dataset`] — feature schema (numeric or categorical) and row storage;
+//! * [`split`] — exact best-split search: sorted threshold scan for numeric
+//!   features, mean-ordered group scan for categorical features (optimal
+//!   for regression per Breiman et al.);
+//! * [`builder`] — recursive top-down induction with standard stopping
+//!   rules;
+//! * [`prune`] — minimal cost-complexity (weakest-link) pruning with
+//!   k-fold cross-validated choice of the complexity parameter;
+//! * [`tree`] — the tree itself, prediction (with per-leaf mean and
+//!   standard deviation, as ACIC's Figure 4 displays), and traversal;
+//! * [`render`] — the Figure 4-style text rendering;
+//! * [`forest`] — a bagged ensemble of CART trees and [`knn`] — a
+//!   k-nearest-neighbours regressor, both behind the pluggable
+//!   [`model::Model`] front (our extension; the paper notes "different
+//!   learning algorithms can be easily plugged in").
+
+pub mod builder;
+pub mod dataset;
+pub mod forest;
+pub mod knn;
+pub mod model;
+pub mod prune;
+pub mod render;
+pub mod split;
+pub mod tree;
+
+pub use builder::{build_tree, BuildParams};
+pub use dataset::{Dataset, Feature, FeatureKind};
+pub use forest::{Forest, ForestParams};
+pub use knn::Knn;
+pub use model::{Model, ModelKind};
+pub use prune::{cross_validated_prune, prune_with_alpha};
+pub use split::{SplitCandidate, SplitRule};
+pub use tree::{Node, Tree};

@@ -1,0 +1,155 @@
+//! Figure 4-style text rendering of a tree.
+//!
+//! The paper's Figure 4 shows, for every node, the branching predictor, the
+//! standard deviation, and the average of the samples under it; leaves show
+//! the predicted value.  This renderer produces the same content as
+//! indented text, e.g.:
+//!
+//! ```text
+//! REQUEST_SIZE <= 34MB? [n=120 avg=1.90 std=0.147]
+//! ├─ yes: FILE_SYSTEM in {PVFS2}? [n=70 avg=2.20 std=0.069]
+//! │  ├─ yes: leaf [n=40 avg=2.10 std=0.021]
+//! ...
+//! ```
+
+use crate::split::SplitRule;
+use crate::tree::{Node, Tree};
+
+/// Render the whole tree as indented text.
+pub fn render(tree: &Tree) -> String {
+    render_with(tree, &|_, v| format!("{v:.3}"))
+}
+
+/// Render with a custom formatter for feature values
+/// (`fmt(feature_index, raw_value) -> String`), letting callers print
+/// category names or byte units.
+pub fn render_with(tree: &Tree, fmt: &dyn Fn(usize, f64) -> String) -> String {
+    let mut out = String::new();
+    go(tree, Tree::ROOT, "", true, None, fmt, &mut out);
+    out
+}
+
+fn describe_rule(tree: &Tree, feature: usize, rule: &SplitRule, fmt: &dyn Fn(usize, f64) -> String) -> String {
+    let name = &tree.feature_names[feature];
+    match rule {
+        SplitRule::Le(t) => format!("{name} <= {}?", fmt(feature, *t)),
+        SplitRule::In(set) => {
+            let items: Vec<String> =
+                set.iter().map(|&c| fmt(feature, f64::from(c))).collect();
+            format!("{name} in {{{}}}?", items.join(", "))
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn go(
+    tree: &Tree,
+    at: usize,
+    prefix: &str,
+    is_root: bool,
+    branch: Option<bool>,
+    fmt: &dyn Fn(usize, f64) -> String,
+    out: &mut String,
+) {
+    let node = &tree.nodes[at];
+    let stats = format!("[n={} avg={:.3} std={:.3}]", node.n(), node.value(), node.std());
+    let label = match node {
+        Node::Leaf { .. } => format!("leaf {stats}"),
+        Node::Internal { feature, rule, .. } => {
+            format!("{} {stats}", describe_rule(tree, *feature, rule, fmt))
+        }
+    };
+
+    if is_root {
+        out.push_str(&label);
+        out.push('\n');
+    } else {
+        let arm = if branch == Some(true) { "yes" } else { "no" };
+        out.push_str(prefix);
+        out.push_str("├─ ");
+        out.push_str(arm);
+        out.push_str(": ");
+        out.push_str(&label);
+        out.push('\n');
+    }
+
+    if let Node::Internal { left, right, .. } = node {
+        let child_prefix = if is_root { String::new() } else { format!("{prefix}│  ") };
+        go(tree, *left, &child_prefix, false, Some(true), fmt, out);
+        go(tree, *right, &child_prefix, false, Some(false), fmt, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::SplitRule;
+
+    fn sample_tree() -> Tree {
+        Tree {
+            nodes: vec![
+                Node::Internal {
+                    feature: 0,
+                    rule: SplitRule::Le(34.0e6),
+                    value: 1.9,
+                    std: 0.147,
+                    n: 100,
+                    left: 1,
+                    right: 2,
+                },
+                Node::Internal {
+                    feature: 1,
+                    rule: SplitRule::In(vec![1]),
+                    value: 2.2,
+                    std: 0.069,
+                    n: 60,
+                    left: 3,
+                    right: 4,
+                },
+                Node::Leaf { value: 1.3, std: 0.202, n: 40 },
+                Node::Leaf { value: 2.1, std: 0.021, n: 30 },
+                Node::Leaf { value: 2.4, std: 0.066, n: 30 },
+            ],
+            feature_names: vec!["REQUEST_SIZE".into(), "FILE_SYSTEM".into()],
+        }
+    }
+
+    #[test]
+    fn renders_all_nodes() {
+        let s = render(&sample_tree());
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("REQUEST_SIZE <="));
+        assert!(s.contains("FILE_SYSTEM in {"));
+        assert!(s.contains("leaf [n=30 avg=2.100 std=0.021]"));
+        assert!(s.starts_with("REQUEST_SIZE"));
+    }
+
+    #[test]
+    fn custom_formatter_is_used() {
+        let s = render_with(&sample_tree(), &|f, v| {
+            if f == 1 {
+                if v as u32 == 1 { "PVFS2".into() } else { "NFS".into() }
+            } else {
+                format!("{:.0}MB", v / 1e6)
+            }
+        });
+        assert!(s.contains("REQUEST_SIZE <= 34MB?"), "{s}");
+        assert!(s.contains("FILE_SYSTEM in {PVFS2}?"), "{s}");
+    }
+
+    #[test]
+    fn marks_yes_and_no_branches() {
+        let s = render(&sample_tree());
+        assert!(s.contains("├─ yes:"));
+        assert!(s.contains("├─ no:"));
+    }
+
+    #[test]
+    fn single_leaf_renders() {
+        let t = Tree {
+            nodes: vec![Node::Leaf { value: 5.0, std: 0.0, n: 3 }],
+            feature_names: vec![],
+        };
+        assert_eq!(render(&t).trim(), "leaf [n=3 avg=5.000 std=0.000]");
+    }
+}

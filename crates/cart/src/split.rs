@@ -1,0 +1,322 @@
+//! Exact best-split search for regression.
+//!
+//! The CART criterion: choose the split that maximizes the reduction in the
+//! sum of squared errors (equivalently, minimizes the within-children
+//! variance — "the optimal split minimizes the difference (e.g., root mean
+//! square) among the samples in the leaf nodes", paper §4.2).
+
+use crate::dataset::{Dataset, FeatureKind};
+
+/// The routing rule of an internal node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SplitRule {
+    /// Numeric: row goes left when `x <= threshold`.
+    Le(f64),
+    /// Categorical: row goes left when its code is in the set.
+    In(Vec<u32>),
+}
+
+impl SplitRule {
+    /// Does `value` route left?
+    pub fn goes_left(&self, value: f64) -> bool {
+        match self {
+            SplitRule::Le(t) => value <= *t,
+            SplitRule::In(set) => set.contains(&(value as u32)),
+        }
+    }
+}
+
+/// A scored candidate split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitCandidate {
+    /// Feature column index.
+    pub feature: usize,
+    /// Routing rule.
+    pub rule: SplitRule,
+    /// SSE(parent) − SSE(left) − SSE(right); always ≥ 0.
+    pub gain: f64,
+    /// Rows routed left/right (both ≥ `min_leaf`).
+    pub left_count: usize,
+    /// See `left_count`.
+    pub right_count: usize,
+}
+
+/// Find the best split of `idx` over all features, requiring at least
+/// `min_leaf` rows on each side.  Returns `None` when no split produces a
+/// positive gain (e.g. constant target or constant features).
+pub fn best_split(data: &Dataset, idx: &[usize], min_leaf: usize) -> Option<SplitCandidate> {
+    let mut best: Option<SplitCandidate> = None;
+    for j in 0..data.features.len() {
+        let cand = match data.features[j].kind {
+            FeatureKind::Numeric => best_numeric_split(data, idx, j, min_leaf),
+            FeatureKind::Categorical { arity } => {
+                best_categorical_split(data, idx, j, arity, min_leaf)
+            }
+        };
+        if let Some(c) = cand {
+            let better = match &best {
+                None => true,
+                // Tie-break on feature index for determinism.
+                Some(b) => c.gain > b.gain + 1e-12,
+            };
+            if better {
+                best = Some(c);
+            }
+        }
+    }
+    // Guard against numeric dust: a gain that is a rounding artifact of the
+    // parent SSE must not create a split.
+    best.filter(|b| b.gain > 1e-12 * data.target_sse(idx).max(1e-12))
+}
+
+/// Best threshold split on numeric feature `j` via a sorted prefix scan.
+fn best_numeric_split(
+    data: &Dataset,
+    idx: &[usize],
+    j: usize,
+    min_leaf: usize,
+) -> Option<SplitCandidate> {
+    let n = idx.len();
+    if n < 2 * min_leaf {
+        return None;
+    }
+    let mut order: Vec<usize> = idx.to_vec();
+    order.sort_by(|&a, &b| data.rows[a][j].total_cmp(&data.rows[b][j]));
+
+    let total_sum: f64 = order.iter().map(|&i| data.targets[i]).sum();
+    let total_sq: f64 = order.iter().map(|&i| data.targets[i] * data.targets[i]).sum();
+    let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+    let mut best_gain = 0.0;
+    let mut best_t = f64::NAN;
+    let mut best_k = 0usize;
+    let mut lsum = 0.0;
+    let mut lsq = 0.0;
+    for k in 0..n - 1 {
+        let y = data.targets[order[k]];
+        lsum += y;
+        lsq += y * y;
+        let x_here = data.rows[order[k]][j];
+        let x_next = data.rows[order[k + 1]][j];
+        if x_here == x_next {
+            continue; // cannot cut between equal values
+        }
+        let nl = (k + 1) as f64;
+        let nr = (n - k - 1) as f64;
+        if (k + 1) < min_leaf || (n - k - 1) < min_leaf {
+            continue;
+        }
+        let rsum = total_sum - lsum;
+        let rsq = total_sq - lsq;
+        let sse = (lsq - lsum * lsum / nl) + (rsq - rsum * rsum / nr);
+        let gain = parent_sse - sse;
+        if gain > best_gain {
+            best_gain = gain;
+            best_t = 0.5 * (x_here + x_next);
+            best_k = k + 1;
+        }
+    }
+    if best_t.is_nan() || best_gain <= 0.0 {
+        return None;
+    }
+    Some(SplitCandidate {
+        feature: j,
+        rule: SplitRule::Le(best_t),
+        gain: best_gain,
+        left_count: best_k,
+        right_count: n - best_k,
+    })
+}
+
+/// Best subset split on categorical feature `j`.  For regression, ordering
+/// the categories by their target mean and scanning prefix cuts of that
+/// order finds the optimal binary partition (Breiman et al., §9.4).
+fn best_categorical_split(
+    data: &Dataset,
+    idx: &[usize],
+    j: usize,
+    arity: u32,
+    min_leaf: usize,
+) -> Option<SplitCandidate> {
+    let n = idx.len();
+    if n < 2 * min_leaf {
+        return None;
+    }
+    // Per-category count/sum/square-sum.
+    let a = arity as usize;
+    let mut cnt = vec![0usize; a];
+    let mut sum = vec![0.0f64; a];
+    let mut sq = vec![0.0f64; a];
+    for &i in idx {
+        let c = data.rows[i][j] as usize;
+        cnt[c] += 1;
+        sum[c] += data.targets[i];
+        sq[c] += data.targets[i] * data.targets[i];
+    }
+    let present: Vec<usize> = (0..a).filter(|&c| cnt[c] > 0).collect();
+    if present.len() < 2 {
+        return None;
+    }
+    // Order present categories by mean target.
+    let mut order = present.clone();
+    order.sort_by(|&x, &y| (sum[x] / cnt[x] as f64).total_cmp(&(sum[y] / cnt[y] as f64)));
+
+    let total_sum: f64 = sum.iter().sum();
+    let total_sq: f64 = sq.iter().sum();
+    let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+    let mut best_gain = 0.0;
+    let mut best_cut = 0usize;
+    let mut lcnt = 0usize;
+    let mut lsum = 0.0;
+    let mut lsq = 0.0;
+    for (k, &c) in order.iter().take(order.len() - 1).enumerate() {
+        lcnt += cnt[c];
+        lsum += sum[c];
+        lsq += sq[c];
+        let rcnt = n - lcnt;
+        if lcnt < min_leaf || rcnt < min_leaf {
+            continue;
+        }
+        let rsum = total_sum - lsum;
+        let rsq = total_sq - lsq;
+        let sse =
+            (lsq - lsum * lsum / lcnt as f64) + (rsq - rsum * rsum / rcnt as f64);
+        let gain = parent_sse - sse;
+        if gain > best_gain {
+            best_gain = gain;
+            best_cut = k + 1;
+        }
+    }
+    if best_cut == 0 || best_gain <= 0.0 {
+        return None;
+    }
+    let mut left: Vec<u32> = order[..best_cut].iter().map(|&c| c as u32).collect();
+    left.sort_unstable();
+    let left_count: usize = order[..best_cut].iter().map(|&c| cnt[c]).sum();
+    Some(SplitCandidate {
+        feature: j,
+        rule: SplitRule::In(left),
+        gain: best_gain,
+        left_count,
+        right_count: n - left_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, Feature};
+
+    fn numeric_ds(points: &[(f64, f64)]) -> Dataset {
+        let mut d = Dataset::new(vec![Feature::numeric("x")]);
+        for &(x, y) in points {
+            d.push(vec![x], y);
+        }
+        d
+    }
+
+    #[test]
+    fn numeric_step_function_found_exactly() {
+        let d = numeric_ds(&[(1.0, 5.0), (2.0, 5.0), (3.0, 5.0), (10.0, 50.0), (11.0, 50.0), (12.0, 50.0)]);
+        let idx: Vec<usize> = (0..6).collect();
+        let s = best_split(&d, &idx, 1).unwrap();
+        assert_eq!(s.feature, 0);
+        match s.rule {
+            SplitRule::Le(t) => assert!((t - 6.5).abs() < 1e-9, "midpoint 6.5, got {t}"),
+            _ => panic!("expected numeric rule"),
+        }
+        assert_eq!((s.left_count, s.right_count), (3, 3));
+        // Perfect split: gain equals the whole parent SSE.
+        assert!((s.gain - d.target_sse(&idx)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_target_has_no_split() {
+        let d = numeric_ds(&[(1.0, 7.0), (2.0, 7.0), (3.0, 7.0), (4.0, 7.0)]);
+        assert!(best_split(&d, &[0, 1, 2, 3], 1).is_none());
+    }
+
+    #[test]
+    fn constant_feature_has_no_split() {
+        let d = numeric_ds(&[(5.0, 1.0), (5.0, 2.0), (5.0, 3.0)]);
+        assert!(best_split(&d, &[0, 1, 2], 1).is_none());
+    }
+
+    #[test]
+    fn min_leaf_is_respected() {
+        let d = numeric_ds(&[(1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (4.0, 100.0)]);
+        // The natural cut isolates the single outlier; min_leaf=2 forbids it.
+        let s = best_split(&d, &[0, 1, 2, 3], 2);
+        if let Some(s) = s {
+            assert!(s.left_count >= 2 && s.right_count >= 2);
+        }
+    }
+
+    #[test]
+    fn categorical_partition_found() {
+        let mut d = Dataset::new(vec![Feature::categorical("fs", 3)]);
+        // Category 0 and 2 low, category 1 high.
+        for _ in 0..5 {
+            d.push(vec![0.0], 1.0);
+            d.push(vec![1.0], 100.0);
+            d.push(vec![2.0], 2.0);
+        }
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let s = best_split(&d, &idx, 1).unwrap();
+        match &s.rule {
+            SplitRule::In(set) => {
+                assert_eq!(set, &vec![0, 2], "low-mean categories go left");
+            }
+            _ => panic!("expected categorical rule"),
+        }
+        assert!(s.rule.goes_left(0.0));
+        assert!(s.rule.goes_left(2.0));
+        assert!(!s.rule.goes_left(1.0));
+    }
+
+    #[test]
+    fn picks_the_more_informative_feature() {
+        let mut d = Dataset::new(vec![Feature::numeric("noise"), Feature::numeric("signal")]);
+        let pts = [
+            (0.3, 1.0, 10.0),
+            (0.9, 2.0, 10.0),
+            (0.1, 3.0, 10.0),
+            (0.7, 11.0, 99.0),
+            (0.5, 12.0, 99.0),
+            (0.2, 13.0, 99.0),
+        ];
+        for &(a, b, y) in &pts {
+            d.push(vec![a, b], y);
+        }
+        let idx: Vec<usize> = (0..6).collect();
+        let s = best_split(&d, &idx, 1).unwrap();
+        assert_eq!(s.feature, 1);
+    }
+
+    #[test]
+    fn gain_is_never_negative() {
+        let d = numeric_ds(&[(1.0, 3.0), (2.0, 1.0), (3.0, 4.0), (4.0, 1.0), (5.0, 5.0)]);
+        if let Some(s) = best_split(&d, &[0, 1, 2, 3, 4], 1) {
+            assert!(s.gain >= 0.0);
+        }
+    }
+
+    #[test]
+    fn categorical_with_single_present_category_has_no_split() {
+        let mut d = Dataset::new(vec![Feature::categorical("c", 4)]);
+        for i in 0..5 {
+            d.push(vec![2.0], i as f64);
+        }
+        assert!(best_split(&d, &[0, 1, 2, 3, 4], 1).is_none());
+    }
+
+    #[test]
+    fn split_rule_routing() {
+        assert!(SplitRule::Le(5.0).goes_left(5.0));
+        assert!(!SplitRule::Le(5.0).goes_left(5.1));
+        let r = SplitRule::In(vec![1, 3]);
+        assert!(r.goes_left(3.0));
+        assert!(!r.goes_left(2.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! The regression tree: nodes, prediction, traversal.
+
+use crate::dataset::Dataset;
+use crate::split::SplitRule;
+
+/// A node of the tree, stored in an arena ([`Tree::nodes`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Terminal node.
+    Leaf {
+        /// Predicted value (mean of the training targets reaching here).
+        value: f64,
+        /// Standard deviation of those targets (ACIC's Figure 4 reports
+        /// this as the prediction's uncertainty).
+        std: f64,
+        /// Training rows reaching this leaf.
+        n: usize,
+    },
+    /// Internal decision node.
+    Internal {
+        /// Feature column tested here.
+        feature: usize,
+        /// Routing rule (left on match).
+        rule: SplitRule,
+        /// Mean of the training targets reaching this node.
+        value: f64,
+        /// Standard deviation of those targets.
+        std: f64,
+        /// Training rows reaching this node.
+        n: usize,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+}
+
+impl Node {
+    /// The node's mean target value.
+    pub fn value(&self) -> f64 {
+        match self {
+            Node::Leaf { value, .. } | Node::Internal { value, .. } => *value,
+        }
+    }
+
+    /// The node's target standard deviation.
+    pub fn std(&self) -> f64 {
+        match self {
+            Node::Leaf { std, .. } | Node::Internal { std, .. } => *std,
+        }
+    }
+
+    /// Training rows reaching the node.
+    pub fn n(&self) -> usize {
+        match self {
+            Node::Leaf { n, .. } | Node::Internal { n, .. } => *n,
+        }
+    }
+
+    /// Is this a leaf?
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+}
+
+/// A trained regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree {
+    /// Node arena; index 0 is the root.
+    pub nodes: Vec<Node>,
+    /// Feature names copied from the training schema (for rendering).
+    pub feature_names: Vec<String>,
+}
+
+/// A prediction with its uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted target (leaf mean).
+    pub value: f64,
+    /// Leaf standard deviation.
+    pub std: f64,
+    /// Training rows backing the leaf.
+    pub support: usize,
+}
+
+impl Tree {
+    /// Index of the root node.
+    pub const ROOT: usize = 0;
+
+    /// Predict for one feature row.
+    pub fn predict(&self, row: &[f64]) -> Prediction {
+        let mut at = Self::ROOT;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value, std, n } => {
+                    return Prediction { value: *value, std: *std, support: *n };
+                }
+                Node::Internal { feature, rule, left, right, .. } => {
+                    at = if rule.goes_left(row[*feature]) { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Mean squared error over a dataset.
+    pub fn mse(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        data.rows
+            .iter()
+            .zip(&data.targets)
+            .map(|(row, &y)| {
+                let d = self.predict(row).value - y;
+                d * d
+            })
+            .sum::<f64>()
+            / data.len() as f64
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Maximum depth (root = depth 0).
+    pub fn depth(&self) -> usize {
+        fn go(tree: &Tree, at: usize) -> usize {
+            match &tree.nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Internal { left, right, .. } => 1 + go(tree, *left).max(go(tree, *right)),
+            }
+        }
+        go(self, Self::ROOT)
+    }
+
+    /// Leaves' SSE total (n·std² summed over leaves) — the resubstitution
+    /// risk used by cost-complexity pruning.
+    pub fn resubstitution_sse(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_leaf())
+            .map(|n| n.std() * n.std() * n.n() as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// x <= 5 -> 10, else 20.
+    fn stump() -> Tree {
+        Tree {
+            nodes: vec![
+                Node::Internal {
+                    feature: 0,
+                    rule: SplitRule::Le(5.0),
+                    value: 15.0,
+                    std: 5.0,
+                    n: 10,
+                    left: 1,
+                    right: 2,
+                },
+                Node::Leaf { value: 10.0, std: 1.0, n: 5 },
+                Node::Leaf { value: 20.0, std: 2.0, n: 5 },
+            ],
+            feature_names: vec!["x".into()],
+        }
+    }
+
+    #[test]
+    fn prediction_routes_through_rules() {
+        let t = stump();
+        assert_eq!(t.predict(&[3.0]).value, 10.0);
+        assert_eq!(t.predict(&[7.0]).value, 20.0);
+        assert_eq!(t.predict(&[5.0]).value, 10.0, "boundary goes left");
+        assert_eq!(t.predict(&[7.0]).std, 2.0);
+        assert_eq!(t.predict(&[7.0]).support, 5);
+    }
+
+    #[test]
+    fn structural_metrics() {
+        let t = stump();
+        assert_eq!(t.leaf_count(), 2);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.resubstitution_sse(), 1.0 * 5.0 + 4.0 * 5.0);
+    }
+
+    #[test]
+    fn mse_over_dataset() {
+        use crate::dataset::{Dataset, Feature};
+        let t = stump();
+        let mut d = Dataset::new(vec![Feature::numeric("x")]);
+        d.push(vec![1.0], 10.0); // err 0
+        d.push(vec![9.0], 26.0); // err 6
+        assert_eq!(t.mse(&d), 18.0);
+        assert_eq!(t.mse(&Dataset::new(vec![Feature::numeric("x")])), 0.0);
+    }
+}

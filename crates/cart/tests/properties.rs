@@ -1,0 +1,88 @@
+//! Property-based tests of the CART implementation.
+
+use acic_cart::{build_tree, cross_validated_prune, prune_with_alpha, BuildParams, Dataset, Feature};
+use proptest::prelude::*;
+
+/// Random regression dataset over one numeric and one categorical feature.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(((0.0f64..100.0), 0u32..4, -50.0f64..50.0), 10..120).prop_map(|rows| {
+        let mut d = Dataset::new(vec![Feature::numeric("x"), Feature::categorical("c", 4)]);
+        for (x, c, y) in rows {
+            d.push(vec![x, f64::from(c)], y);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Predictions always fall inside the training target range: a
+    /// regression tree predicts leaf means, which cannot extrapolate.
+    #[test]
+    fn predictions_stay_in_target_range(d in dataset_strategy(), x in -10.0f64..110.0, c in 0u32..4) {
+        let tree = build_tree(&d, &BuildParams::default());
+        let lo = d.targets.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = d.targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = tree.predict(&[x, f64::from(c)]).value;
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+
+    /// Resubstitution MSE never increases when the tree is allowed to
+    /// grow deeper.
+    #[test]
+    fn deeper_trees_fit_no_worse(d in dataset_strategy()) {
+        let shallow = build_tree(&d, &BuildParams { max_depth: 2, ..BuildParams::overgrow() });
+        let deep = build_tree(&d, &BuildParams { max_depth: 12, ..BuildParams::overgrow() });
+        prop_assert!(deep.mse(&d) <= shallow.mse(&d) + 1e-9);
+    }
+
+    /// Pruning monotonicity: a larger α never yields a bigger tree, and
+    /// the fully pruned tree is the root.
+    #[test]
+    fn pruning_is_monotone_in_alpha(d in dataset_strategy(), a in 0.0f64..50.0, b in 0.0f64..50.0) {
+        let full = build_tree(&d, &BuildParams::overgrow());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let t_lo = prune_with_alpha(&full, lo);
+        let t_hi = prune_with_alpha(&full, hi);
+        prop_assert!(t_hi.leaf_count() <= t_lo.leaf_count());
+        let root_only = prune_with_alpha(&full, f64::INFINITY);
+        prop_assert_eq!(root_only.leaf_count(), 1);
+    }
+
+    /// Trees support every training row: leaf sample counts sum to n.
+    #[test]
+    fn leaf_support_partitions_the_dataset(d in dataset_strategy()) {
+        let tree = build_tree(&d, &BuildParams::default());
+        let total: usize = tree
+            .nodes
+            .iter()
+            .filter(|n| n.is_leaf())
+            .map(|n| n.n())
+            .sum();
+        prop_assert_eq!(total, d.len());
+    }
+
+    /// Cross-validated pruning never crashes and returns a usable model.
+    #[test]
+    fn cv_prune_is_total(d in dataset_strategy(), seed in 0u64..100) {
+        let t = cross_validated_prune(&d, 4, seed);
+        prop_assert!(t.leaf_count() >= 1);
+        let p = t.predict(&[50.0, 1.0]);
+        prop_assert!(p.value.is_finite());
+    }
+
+    /// Prediction routing agrees with the training partition: predicting a
+    /// training row lands on a leaf whose mean differs from the target by
+    /// no more than the full target spread.
+    #[test]
+    fn training_rows_route_to_plausible_leaves(d in dataset_strategy()) {
+        let tree = build_tree(&d, &BuildParams::default());
+        let lo = d.targets.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = d.targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for (row, &y) in d.rows.iter().zip(&d.targets).take(20) {
+            let p = tree.predict(row).value;
+            prop_assert!((p - y).abs() <= (hi - lo) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! A tiny `--flag value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: the subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand word (first non-flag argument).
+    pub command: Option<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = argv.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                    // Bare flags act as booleans.
+                    _ => "true".to_string(),
+                };
+                if out.flags.insert(key.to_string(), value).is_some() {
+                    return Err(format!("flag --{key} given twice"));
+                }
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Get a flag's raw value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Get a flag or a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Parse a flag into any `FromStr` type, with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
+    }
+
+    /// True if a boolean flag is present (and not explicitly "false").
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some(v) if v != "false")
+    }
+
+    /// Error on any flag not in the allowed set (typo protection).
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown flag --{key} (allowed: {})",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse("recommend --app btio --procs 64 --top 3").unwrap();
+        assert_eq!(a.command.as_deref(), Some("recommend"));
+        assert_eq!(a.get("app"), Some("btio"));
+        assert_eq!(a.parse_or("procs", 0usize).unwrap(), 64);
+        assert_eq!(a.parse_or("top", 1usize).unwrap(), 3);
+        assert_eq!(a.parse_or("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn bare_flags_are_booleans() {
+        let a = parse("train --verbose --dims 5").unwrap();
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.parse_or("dims", 0usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_extra_positionals() {
+        assert!(parse("x --a 1 --a 2").is_err());
+        assert!(parse("x y").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let a = parse("screen --seed 1 --oops 2").unwrap();
+        assert!(a.reject_unknown(&["seed"]).is_err());
+        assert!(a.reject_unknown(&["seed", "oops"]).is_ok());
+    }
+
+    #[test]
+    fn invalid_numbers_error_cleanly() {
+        let a = parse("train --dims banana").unwrap();
+        let e = a.parse_or("dims", 0usize).unwrap_err();
+        assert!(e.contains("--dims"));
+    }
+}

@@ -1,0 +1,23 @@
+//! `acic ior` — run an IOR-style benchmark line on one configuration of
+//! the simulated cloud (the unit of work ACIC's training is made of).
+
+use crate::args::Args;
+use acic::SystemConfig;
+use acic_iobench::{parse_ior_args, run_ior};
+
+pub fn run(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["args", "config", "seed"])?;
+    let line = args.get("args").ok_or("--args \"<IOR options>\" is required")?;
+    let config = SystemConfig::parse_notation(args.get_or("config", "nfs.D.EBS"))?;
+    let seed: u64 = args.parse_or("seed", 20131117)?;
+
+    let cfg = parse_ior_args(line)?;
+    let report = run_ior(&config.to_io_system(cfg.nprocs), &cfg, seed).map_err(|e| e.to_string())?;
+
+    println!("IOR on {} ({} tasks):", config.notation(), cfg.nprocs);
+    println!("  options        : {line}");
+    println!("  execution time : {:.3} s", report.secs());
+    println!("  aggregate bw   : {:.1} MB/s", report.bandwidth_bps / 1e6);
+    println!("  cost (eq. 1)   : ${:.4} over {} instances", report.cost, report.instances);
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! CLI subcommand implementations.
+
+pub mod ior;
+pub mod profile;
+pub mod recommend;
+pub mod screen;
+pub mod sweep;
+pub mod train;
+pub mod walk;
+
+use crate::args::Args;
+use acic::Objective;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+acic — automatic cloud I/O configurator (SC '13 reproduction)
+
+USAGE:
+  acic screen     [--goal perf|cost] [--seed N]
+        Rank the 15 exploration-space parameters with a 32-run foldover
+        Plackett-Burman screen on the simulated cloud.
+
+  acic train      [--dims N] [--seed N] [--out FILE] [--ranking paper|screen]
+        Collect an IOR training database over the top N ranked dimensions
+        and optionally save it as shareable text.
+
+  acic recommend  --app NAME --procs N [--db FILE | --dims N] [--goal perf|cost]
+                  [--top K] [--seed N] [--model cart|forest|knn]
+                  [--verify [--app-run-secs S]]
+        Profile the application and rank all candidate I/O configurations;
+        --verify replays the top-k as IOR probes and re-ranks by
+        measurement, accounting residual-hour piggybacking.
+
+  acic profile    (--app NAME --procs N | --trace FILE) [--emit-trace FILE]
+        Print the nine Table-1 I/O characteristics of an application model
+        or of a recorded trace log.
+
+  acic walk       --app NAME --procs N [--goal perf|cost] [--random] [--seed N]
+        PB-guided greedy space walk (no training database needed).
+
+  acic sweep      --app NAME --procs N [--goal perf|cost] [--seed N]
+        Exhaustively measure every candidate configuration (ground truth).
+
+  acic ior        --args \"-a MPIIO -b 16m -t 4m -i 10 -w -c -N 64\"
+                  [--config NOTATION] [--seed N]
+        Run one IOR-style benchmark line on a configuration (notation like
+        nfs.D.EBS or pvfs.4.P.eph.4MB).
+
+Applications: btio, flashio, mpiblast, madbench2 (paper configurations).
+";
+
+/// Parse `--goal perf|cost` (default perf).
+pub fn goal(args: &Args) -> Result<Objective, String> {
+    match args.get_or("goal", "perf") {
+        "perf" | "performance" | "time" => Ok(Objective::Performance),
+        "cost" | "money" => Ok(Objective::Cost),
+        other => Err(format!("invalid --goal {other:?} (expected perf or cost)")),
+    }
+}

@@ -1,0 +1,93 @@
+//! `acic recommend` — profile an application and rank candidates.
+
+use crate::args::Args;
+use crate::commands::goal;
+use crate::registry::app_by_name;
+use acic::{Acic, TrainingDb};
+
+pub fn run(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "app", "procs", "db", "dims", "goal", "top", "seed", "verify", "app-run-secs", "model",
+    ])?;
+    let app_name = args.get("app").ok_or("--app is required")?;
+    let procs: usize = args.parse_or("procs", 64)?;
+    let top: usize = args.parse_or("top", 3)?;
+    let seed: u64 = args.parse_or("seed", 20131117)?;
+    let objective = goal(args)?;
+    let model = app_by_name(app_name, procs)?;
+
+    let model_kind = match args.get_or("model", "cart") {
+        "cart" => acic_cart::ModelKind::Cart,
+        "forest" => acic_cart::ModelKind::Forest { n_trees: 25 },
+        "knn" => acic_cart::ModelKind::Knn { k: 7 },
+        other => return Err(format!("invalid --model {other:?} (cart, forest, or knn)")),
+    };
+
+    let mut acic = match args.get("db") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let db = TrainingDb::from_text(&text).map_err(|e| e.to_string())?;
+            eprintln!("loaded {} training points from {path}", db.len());
+            Acic::from_db(db, seed).map_err(|e| e.to_string())?
+        }
+        None => {
+            let dims: usize = args.parse_or("dims", 10)?;
+            eprintln!("no --db given; training in-process over the top {dims} dimensions...");
+            Acic::with_paper_ranking(dims, seed).map_err(|e| e.to_string())?
+        }
+    };
+
+    if model_kind != acic_cart::ModelKind::Cart {
+        acic.retrain_with(model_kind).map_err(|e| e.to_string())?;
+    }
+
+    let recs = acic
+        .recommend_for(model.as_ref(), objective, top)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "top {} I/O configurations for {}-{procs} ({objective} goal, {model_kind} model):",
+        recs.len(),
+        model.name()
+    );
+    for (i, r) in recs.iter().enumerate() {
+        println!(
+            "  {}. {:<26} predicted {:.2}x improvement over baseline",
+            i + 1,
+            r.config.notation(),
+            r.predicted_improvement
+        );
+    }
+
+    // Optional verification probes over the top-k list (paper §5.3's
+    // piggy-backed benchmarking runs).
+    if args.flag("verify") {
+        use acic::profile::app_point_from;
+        use acic::verify::verify_top_k;
+        use acic_apps::profile;
+        let app_run_secs: f64 = args.parse_or("app-run-secs", 0.0)?;
+        let point = app_point_from(&profile(&model.trace()).ok_or("application performs no I/O")?);
+        let ranked: Vec<(acic::SystemConfig, f64)> =
+            recs.iter().map(|r| (r.config, r.predicted_improvement)).collect();
+        let v = verify_top_k(&ranked, &point, objective, top, app_run_secs, seed)
+            .map_err(|e| e.to_string())?;
+        println!();
+        println!("verification probes (IOR replays of the profiled characteristics):");
+        for (i, c) in v.ranked.iter().enumerate() {
+            println!(
+                "  {}. {:<26} measured {:.3} ({:.1}s probe)",
+                i + 1,
+                c.config.notation(),
+                c.measured_metric,
+                c.probe_secs
+            );
+        }
+        println!(
+            "probing: {:.1}s total, ${:.2} stand-alone, {:.0}% rode residual instance-hours",
+            v.total_probe_secs,
+            v.standalone_cost,
+            v.free_fraction() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! `acic screen` — PB parameter ranking.
+
+use crate::args::Args;
+use crate::commands::goal;
+use acic::reducer::reduce;
+
+pub fn run(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["goal", "seed"])?;
+    let seed: u64 = args.parse_or("seed", 20131117)?;
+    let objective = goal(args)?;
+
+    let r = reduce(objective, seed).map_err(|e| e.to_string())?;
+    println!(
+        "foldover PB screen: {} IOR runs, ${:.2} simulated collection cost, objective = {objective}",
+        r.runs, r.screen_cost_usd
+    );
+    println!("{:<4} {:<24} {:>14}", "rank", "parameter", "effect");
+    let mut by_rank = r.effects.clone();
+    by_rank.sort_by_key(|(_, _, rank)| *rank);
+    for (param, effect, rank) in by_rank {
+        println!("{rank:<4} {:<24} {effect:>14.3}", param.name());
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! `acic train` — collect a training database.
+
+use crate::args::Args;
+use acic::reducer::reduce;
+use acic::{Objective, Trainer};
+
+pub fn run(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["dims", "seed", "out", "ranking"])?;
+    let dims: usize = args.parse_or("dims", 7)?;
+    let seed: u64 = args.parse_or("seed", 20131117)?;
+    if dims == 0 || dims > 15 {
+        return Err("--dims must be in 1..=15".into());
+    }
+
+    let trainer = match args.get_or("ranking", "paper") {
+        "paper" => Trainer::with_paper_ranking(seed),
+        "screen" => {
+            let r = reduce(Objective::Performance, seed).map_err(|e| e.to_string())?;
+            Trainer { ranking: r.ranking, seed }
+        }
+        other => return Err(format!("invalid --ranking {other:?} (paper or screen)")),
+    };
+
+    eprintln!(
+        "training over the top {dims} dimensions: {:?}...",
+        &trainer.ranking[..dims.min(trainer.ranking.len())]
+    );
+    let db = trainer.collect(dims).map_err(|e| e.to_string())?;
+    eprintln!(
+        "collected {} points ({:.0} simulated seconds, ${:.2})",
+        db.len(),
+        db.collect_secs,
+        db.collect_cost_usd
+    );
+
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, db.to_text()).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("database written to {path}");
+        }
+        None => print!("{}", db.to_text()),
+    }
+    Ok(())
+}

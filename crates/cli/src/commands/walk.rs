@@ -1,0 +1,39 @@
+//! `acic walk` — PB-guided (or random) greedy space walking.
+
+use crate::args::Args;
+use crate::commands::goal;
+use crate::registry::app_by_name;
+use acic::profile::app_point_from;
+use acic::walk::{guided_walk, random_walk};
+use acic::Trainer;
+use acic_apps::profile;
+
+pub fn run(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["app", "procs", "goal", "random", "seed"])?;
+    let app_name = args.get("app").ok_or("--app is required")?;
+    let procs: usize = args.parse_or("procs", 64)?;
+    let seed: u64 = args.parse_or("seed", 20131117)?;
+    let objective = goal(args)?;
+    let model = app_by_name(app_name, procs)?;
+
+    let chars = profile(&model.trace()).ok_or("application performs no I/O")?;
+    let point = app_point_from(&chars);
+
+    let outcome = if args.flag("random") {
+        random_walk(&point, objective, seed).map_err(|e| e.to_string())?
+    } else {
+        let ranking = Trainer::with_paper_ranking(seed).ranking;
+        guided_walk(&ranking, &point, objective, seed).map_err(|e| e.to_string())?
+    };
+
+    println!(
+        "{} walk for {}-{procs} ({objective} goal):",
+        if args.flag("random") { "random-order" } else { "PB-guided" },
+        model.name()
+    );
+    println!("  chosen configuration : {}", outcome.config.notation());
+    println!("  probe runs spent     : {}", outcome.runs);
+    println!("  probe cost           : ${:.2} (simulated)", outcome.cost_usd);
+    println!("  best probed metric   : {:.3}", outcome.best_metric);
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Application registry: map `--app <name> --procs <n>` to a workload
+//! model.
+
+use acic_apps::{AppModel, Btio, FlashIo, MadBench2, MpiBlast};
+
+/// Names accepted by `--app`.
+pub const APP_NAMES: [&str; 4] = ["btio", "flashio", "mpiblast", "madbench2"];
+
+/// Instantiate an application model by name and scale.
+pub fn app_by_name(name: &str, procs: usize) -> Result<Box<dyn AppModel>, String> {
+    if procs == 0 {
+        return Err("--procs must be positive".into());
+    }
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "btio" => Box::new(Btio::class_c(procs)),
+        "flashio" => Box::new(FlashIo::paper(procs)),
+        "mpiblast" => Box::new(MpiBlast::paper(procs)),
+        "madbench2" | "madbench" => Box::new(MadBench2::paper(procs)),
+        other => {
+            return Err(format!(
+                "unknown application {other:?} (expected one of {})",
+                APP_NAMES.join(", ")
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_registered_names_resolve() {
+        for name in APP_NAMES {
+            let m = app_by_name(name, 64).unwrap();
+            assert_eq!(m.nprocs(), 64);
+        }
+        assert!(app_by_name("madbench", 64).is_ok(), "alias accepted");
+    }
+
+    #[test]
+    fn unknown_name_and_zero_procs_rejected() {
+        assert!(app_by_name("nope", 64).is_err());
+        assert!(app_by_name("btio", 0).is_err());
+    }
+}

@@ -1,0 +1,453 @@
+//! Cluster assembly: turn an I/O-system configuration into simulator
+//! resources (nodes, NICs, storage arrays) plus the bookkeeping the
+//! file-system models need (which node hosts which MPI rank, which nodes
+//! run I/O servers, how many instances are billed).
+
+use crate::device::DeviceKind;
+use crate::engine::Simulation;
+use crate::error::CloudSimError;
+use crate::instance::InstanceType;
+use crate::network::{route, NodeNet};
+use crate::raid::Raid0;
+use crate::resource::ResourceId;
+use crate::rng::SplitMix64;
+
+/// I/O server placement strategy (Table 1 "Placement").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Placement {
+    /// I/O servers run on extra, separate instances.
+    Dedicated,
+    /// I/O servers share instances with a subset of the compute nodes.
+    PartTime,
+}
+
+impl Placement {
+    /// Both strategies, Table 1 order.
+    pub const ALL: [Placement; 2] = [Placement::PartTime, Placement::Dedicated];
+
+    /// One-letter label as used in the paper's configuration strings
+    /// (`nfs.D.eph`, `pvfs.4.P.eph`).
+    pub fn letter(self) -> char {
+        match self {
+            Placement::Dedicated => 'D',
+            Placement::PartTime => 'P',
+        }
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Placement::Dedicated => f.write_str("dedicated"),
+            Placement::PartTime => f.write_str("part-time"),
+        }
+    }
+}
+
+/// What a node does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Runs MPI processes only.
+    Compute,
+    /// Runs an I/O server only (dedicated placement).
+    IoServer,
+    /// Runs both (part-time placement).
+    Both,
+}
+
+/// Storage array attached to an I/O-server node.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageAttachment {
+    /// Write channel of the array.
+    pub write: ResourceId,
+    /// Read channel of the array.
+    pub read: ResourceId,
+    /// Per-operation device latency, seconds.
+    pub per_op_latency: f64,
+    /// EBS-style arrays are reached through the node NIC.
+    pub via_nic: bool,
+    /// Fraction of sequential bandwidth retained under random access.
+    pub random_efficiency: f64,
+}
+
+/// One simulated instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    /// Network endpoints.
+    pub net: NodeNet,
+    /// Attached storage array, for I/O-server nodes.
+    pub storage: Option<StorageAttachment>,
+    /// Role of this node.
+    pub role: NodeRole,
+}
+
+/// Declarative description of the cluster to build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Instance type of every node (the space is homogeneous).
+    pub instance_type: InstanceType,
+    /// Number of instances hosting MPI processes.
+    pub compute_instances: usize,
+    /// Number of file-system I/O servers.
+    pub io_servers: usize,
+    /// Where the I/O servers live.
+    pub placement: Placement,
+    /// Per-server storage array.
+    pub storage: Raid0,
+}
+
+impl ClusterSpec {
+    /// Spec sized for `nprocs` MPI processes (one per core).
+    pub fn for_procs(
+        instance_type: InstanceType,
+        nprocs: usize,
+        io_servers: usize,
+        placement: Placement,
+        storage: Raid0,
+    ) -> Self {
+        Self {
+            instance_type,
+            compute_instances: instance_type.instances_for(nprocs.max(1)),
+            io_servers,
+            placement,
+            storage,
+        }
+    }
+
+    /// Billed instance count: part-time servers are free riders, dedicated
+    /// servers are extra instances (this is why the two placements trade
+    /// off performance against cost — §3.1).
+    pub fn total_instances(&self) -> usize {
+        match self.placement {
+            Placement::Dedicated => self.compute_instances + self.io_servers,
+            Placement::PartTime => self.compute_instances,
+        }
+    }
+
+    /// Validate the spec (part-time needs at least as many compute nodes as
+    /// servers; a RAID width cannot exceed the instance's ephemeral disks).
+    pub fn validate(&self) -> Result<(), CloudSimError> {
+        if self.compute_instances == 0 {
+            return Err(CloudSimError::InvalidCluster("no compute instances".into()));
+        }
+        if self.io_servers == 0 {
+            return Err(CloudSimError::InvalidCluster("no I/O servers".into()));
+        }
+        if self.placement == Placement::PartTime && self.io_servers > self.compute_instances {
+            return Err(CloudSimError::InvalidCluster(format!(
+                "{} part-time I/O servers need at least that many compute instances (have {})",
+                self.io_servers, self.compute_instances
+            )));
+        }
+        if self.storage.kind == DeviceKind::Ephemeral
+            && self.storage.width > self.instance_type.ephemeral_disks()
+        {
+            return Err(CloudSimError::InvalidCluster(format!(
+                "RAID width {} exceeds the {} ephemeral disks of {}",
+                self.storage.width,
+                self.instance_type.ephemeral_disks(),
+                self.instance_type
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A built cluster: nodes materialized as simulator resources.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The spec this cluster was built from.
+    pub spec: ClusterSpec,
+    /// All nodes; compute nodes first, then any dedicated I/O nodes.
+    pub nodes: Vec<Node>,
+    /// Indices (into `nodes`) of the I/O-server nodes, in server order.
+    pub io_server_nodes: Vec<usize>,
+    /// Fabric layout (flat full-bisection by default).
+    pub fabric: crate::network::FabricSpec,
+    /// Per-rack uplink resources `(up, down)` when the fabric is tiered.
+    pub rack_uplinks: Vec<(ResourceId, ResourceId)>,
+}
+
+impl Cluster {
+    /// Materialize `spec` inside `sim` on a flat full-bisection fabric.
+    /// Per-run device jitter is drawn from `rng`, one independent draw per
+    /// storage array.
+    pub fn build(
+        spec: ClusterSpec,
+        sim: &mut Simulation,
+        rng: &mut SplitMix64,
+    ) -> Result<Self, CloudSimError> {
+        Self::build_with_fabric(spec, crate::network::FabricSpec::FLAT, sim, rng)
+    }
+
+    /// Materialize `spec` on an explicit fabric (rack uplinks become shared
+    /// resources that inter-rack flows traverse).
+    pub fn build_with_fabric(
+        spec: ClusterSpec,
+        fabric: crate::network::FabricSpec,
+        sim: &mut Simulation,
+        rng: &mut SplitMix64,
+    ) -> Result<Self, CloudSimError> {
+        spec.validate()?;
+        let n_nodes = spec.compute_instances
+            + match spec.placement {
+                Placement::Dedicated => spec.io_servers,
+                Placement::PartTime => 0,
+            };
+
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for i in 0..n_nodes {
+            let net = NodeNet::create(sim, i, spec.instance_type);
+            nodes.push(Node { net, storage: None, role: NodeRole::Compute });
+        }
+
+        let io_server_nodes: Vec<usize> = match spec.placement {
+            // Dedicated servers are the trailing extra nodes.
+            Placement::Dedicated => (spec.compute_instances..n_nodes).collect(),
+            // Part-time servers co-locate with the first compute nodes —
+            // which is also where collective-I/O aggregators live, giving
+            // the locality effect of §5.6 observation 1.
+            Placement::PartTime => (0..spec.io_servers).collect(),
+        };
+
+        for (s, &ni) in io_server_nodes.iter().enumerate() {
+            let prof = spec.storage.effective_profile(rng);
+            let write = sim.add_resource(format!("srv{s}.array.wr"), prof.seq_write_bps);
+            let read = sim.add_resource(format!("srv{s}.array.rd"), prof.seq_read_bps);
+            let node = &mut nodes[ni];
+            node.storage = Some(StorageAttachment {
+                write,
+                read,
+                per_op_latency: prof.per_op_latency,
+                via_nic: prof.via_nic,
+                random_efficiency: prof.random_efficiency,
+            });
+            node.role = match spec.placement {
+                Placement::Dedicated => NodeRole::IoServer,
+                Placement::PartTime => NodeRole::Both,
+            };
+        }
+
+        let mut rack_uplinks = Vec::new();
+        if fabric.is_tiered() {
+            let racks = n_nodes.div_ceil(fabric.rack_size);
+            let cap = fabric.uplink_bps(spec.instance_type.nic_bps());
+            for r in 0..racks {
+                let up = sim.add_resource(format!("rack{r}.uplink.up"), cap);
+                let down = sim.add_resource(format!("rack{r}.uplink.down"), cap);
+                rack_uplinks.push((up, down));
+            }
+        }
+
+        Ok(Self { spec, nodes, io_server_nodes, fabric, rack_uplinks })
+    }
+
+    /// Node hosting MPI rank `rank` under block distribution.
+    pub fn node_of_rank(&self, rank: usize) -> usize {
+        let node = rank / self.spec.instance_type.cores();
+        debug_assert!(node < self.spec.compute_instances);
+        node.min(self.spec.compute_instances - 1)
+    }
+
+    /// Node hosting I/O server `server` (index into server order).
+    pub fn node_of_server(&self, server: usize) -> usize {
+        self.io_server_nodes[server]
+    }
+
+    /// Append the network path from node `from` to node `to` onto `out`.
+    /// Inter-rack traffic additionally traverses both racks' uplinks.
+    pub fn net_path(&self, from: usize, to: usize, out: &mut Vec<ResourceId>) {
+        // `route` borrows a slice of NodeNet; build on the fly.
+        let nets: Vec<NodeNet> = self.nodes.iter().map(|n| n.net).collect();
+        if from != to && self.fabric.is_tiered() {
+            let (ra, rb) = (self.fabric.rack_of(from), self.fabric.rack_of(to));
+            if ra != rb {
+                out.push(nets[from].tx);
+                out.push(self.rack_uplinks[ra].0);
+                out.push(self.rack_uplinks[rb].1);
+                out.push(nets[to].rx);
+                return;
+            }
+        }
+        route(&nets, from, to, out);
+    }
+
+    /// Append the storage path at server node `node` onto `out`.
+    /// EBS arrays add the node NIC (tx for writes leaving the instance
+    /// toward the EBS backend, rx for reads coming back).
+    pub fn storage_path(&self, node: usize, write: bool, out: &mut Vec<ResourceId>) {
+        let st = self.nodes[node]
+            .storage
+            .expect("storage_path called on a node without storage");
+        if write {
+            if st.via_nic {
+                out.push(self.nodes[node].net.tx);
+            }
+            out.push(st.write);
+        } else {
+            out.push(st.read);
+            if st.via_nic {
+                out.push(self.nodes[node].net.rx);
+            }
+        }
+    }
+
+    /// Per-operation latency of the array at `node`.
+    pub fn storage_latency(&self, node: usize) -> f64 {
+        self.nodes[node].storage.map(|s| s.per_op_latency).unwrap_or(0.0)
+    }
+
+    /// Random-access efficiency of the array at `node` (1.0 when there is
+    /// no storage attached).
+    pub fn storage_random_efficiency(&self, node: usize) -> f64 {
+        self.nodes[node].storage.map(|s| s.random_efficiency).unwrap_or(1.0)
+    }
+
+    /// Billed instance count.
+    pub fn total_instances(&self) -> usize {
+        self.spec.total_instances()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(placement: Placement, io_servers: usize) -> ClusterSpec {
+        ClusterSpec {
+            instance_type: InstanceType::Cc2_8xlarge,
+            compute_instances: 4,
+            io_servers,
+            placement,
+            storage: Raid0::new(DeviceKind::Ephemeral, 2),
+        }
+    }
+
+    #[test]
+    fn dedicated_adds_extra_instances() {
+        let s = spec(Placement::Dedicated, 2);
+        assert_eq!(s.total_instances(), 6);
+        let s = spec(Placement::PartTime, 2);
+        assert_eq!(s.total_instances(), 4);
+    }
+
+    #[test]
+    fn build_dedicated_places_servers_on_tail_nodes() {
+        let mut sim = Simulation::new();
+        let mut rng = SplitMix64::new(1);
+        let c = Cluster::build(spec(Placement::Dedicated, 2), &mut sim, &mut rng).unwrap();
+        assert_eq!(c.nodes.len(), 6);
+        assert_eq!(c.io_server_nodes, vec![4, 5]);
+        assert!(c.nodes[4].storage.is_some());
+        assert!(c.nodes[0].storage.is_none());
+        assert_eq!(c.nodes[4].role, NodeRole::IoServer);
+        assert_eq!(c.nodes[0].role, NodeRole::Compute);
+    }
+
+    #[test]
+    fn build_parttime_colocates_servers_with_leading_compute_nodes() {
+        let mut sim = Simulation::new();
+        let mut rng = SplitMix64::new(1);
+        let c = Cluster::build(spec(Placement::PartTime, 2), &mut sim, &mut rng).unwrap();
+        assert_eq!(c.nodes.len(), 4);
+        assert_eq!(c.io_server_nodes, vec![0, 1]);
+        assert_eq!(c.nodes[0].role, NodeRole::Both);
+        assert_eq!(c.nodes[3].role, NodeRole::Compute);
+    }
+
+    #[test]
+    fn parttime_cannot_exceed_compute_nodes() {
+        let s = spec(Placement::PartTime, 5);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn raid_width_bounded_by_ephemeral_disks() {
+        let mut s = spec(Placement::Dedicated, 1);
+        s.storage = Raid0::new(DeviceKind::Ephemeral, 5); // cc2 has 4
+        assert!(s.validate().is_err());
+        s.storage = Raid0::new(DeviceKind::Ebs, 8); // EBS volumes are not bounded
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_servers_or_nodes_rejected() {
+        let mut s = spec(Placement::Dedicated, 0);
+        assert!(s.validate().is_err());
+        s = spec(Placement::Dedicated, 1);
+        s.compute_instances = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rank_mapping_is_block_distribution() {
+        let mut sim = Simulation::new();
+        let mut rng = SplitMix64::new(1);
+        let c = Cluster::build(spec(Placement::Dedicated, 1), &mut sim, &mut rng).unwrap();
+        assert_eq!(c.node_of_rank(0), 0);
+        assert_eq!(c.node_of_rank(15), 0);
+        assert_eq!(c.node_of_rank(16), 1);
+        assert_eq!(c.node_of_rank(63), 3);
+    }
+
+    #[test]
+    fn for_procs_sizes_instances() {
+        let s = ClusterSpec::for_procs(
+            InstanceType::Cc2_8xlarge,
+            256,
+            4,
+            Placement::Dedicated,
+            Raid0::new(DeviceKind::Ephemeral, 1),
+        );
+        assert_eq!(s.compute_instances, 16);
+        assert_eq!(s.total_instances(), 20);
+    }
+
+    #[test]
+    fn ebs_storage_paths_include_nic() {
+        let mut sim = Simulation::new();
+        let mut rng = SplitMix64::new(1);
+        let mut s = spec(Placement::Dedicated, 1);
+        s.storage = Raid0::new(DeviceKind::Ebs, 2);
+        let c = Cluster::build(s, &mut sim, &mut rng).unwrap();
+        let node = c.node_of_server(0);
+        let mut wr = Vec::new();
+        c.storage_path(node, true, &mut wr);
+        assert_eq!(wr.len(), 2, "EBS write path = nic.tx + array.wr");
+        assert_eq!(wr[0], c.nodes[node].net.tx);
+        let mut rd = Vec::new();
+        c.storage_path(node, false, &mut rd);
+        assert_eq!(rd.len(), 2, "EBS read path = array.rd + nic.rx");
+        assert_eq!(rd[1], c.nodes[node].net.rx);
+    }
+
+    #[test]
+    fn ephemeral_storage_paths_skip_nic() {
+        let mut sim = Simulation::new();
+        let mut rng = SplitMix64::new(1);
+        let c = Cluster::build(spec(Placement::Dedicated, 1), &mut sim, &mut rng).unwrap();
+        let node = c.node_of_server(0);
+        let mut wr = Vec::new();
+        c.storage_path(node, true, &mut wr);
+        assert_eq!(wr.len(), 1);
+        let mut rd = Vec::new();
+        c.storage_path(node, false, &mut rd);
+        assert_eq!(rd.len(), 1);
+    }
+
+    #[test]
+    fn storage_latency_zero_for_compute_nodes() {
+        let mut sim = Simulation::new();
+        let mut rng = SplitMix64::new(1);
+        let c = Cluster::build(spec(Placement::Dedicated, 1), &mut sim, &mut rng).unwrap();
+        assert_eq!(c.storage_latency(0), 0.0);
+        assert!(c.storage_latency(c.node_of_server(0)) > 0.0);
+    }
+
+    #[test]
+    fn placement_letters_match_paper_notation() {
+        assert_eq!(Placement::Dedicated.letter(), 'D');
+        assert_eq!(Placement::PartTime.letter(), 'P');
+        assert_eq!(Placement::Dedicated.to_string(), "dedicated");
+    }
+}

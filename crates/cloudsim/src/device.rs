@@ -1,0 +1,162 @@
+//! Virtual disk devices: EBS volumes, local ephemeral disks, and SSDs.
+//!
+//! The calibration targets the 2012-era measurements the paper builds on
+//! (its companion study [32] and common EC2 benchmarking of the time):
+//! a single ephemeral spindle streams ~110 MB/s, a standard EBS volume
+//! ~75 MB/s with noticeably higher variance (it is remote, multi-tenant
+//! storage), and the SSD option streams ~260 MB/s.  Crucially, **EBS
+//! traffic traverses the instance NIC**, so EBS-backed I/O servers contend
+//! with file-system client traffic on the same link — the mechanism behind
+//! the paper's observation 3 (§5.6): "ephemeral disks usually perform
+//! better than EBS when there is more than one I/O server deployed".
+
+use crate::units::MB_S;
+
+/// Disk device kinds selectable in the ACIC exploration space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceKind {
+    /// Elastic Block Store: off-instance, persistent, network-attached.
+    Ebs,
+    /// Instance-local disk; data does not survive the reservation.
+    Ephemeral,
+    /// Instance-local SSD (mentioned in §3.1; not part of the Table 1
+    /// space, but supported so the space can be extended — §8 future work).
+    Ssd,
+}
+
+impl DeviceKind {
+    /// Device kinds appearing in the Table 1 exploration space.
+    pub const TABLE1: [DeviceKind; 2] = [DeviceKind::Ebs, DeviceKind::Ephemeral];
+
+    /// Short label used in configuration strings (`eph.`, `EBS`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceKind::Ebs => "EBS",
+            DeviceKind::Ephemeral => "eph",
+            DeviceKind::Ssd => "ssd",
+        }
+    }
+
+    /// The baseline performance profile for one device of this kind.
+    pub fn profile(self) -> DeviceProfile {
+        match self {
+            DeviceKind::Ebs => DeviceProfile {
+                kind: self,
+                seq_read_bps: 90.0 * MB_S,
+                seq_write_bps: 75.0 * MB_S,
+                per_op_latency: 900e-6,
+                jitter_sigma: 0.15,
+                via_nic: true,
+                random_efficiency: 0.40,
+            },
+            DeviceKind::Ephemeral => DeviceProfile {
+                kind: self,
+                seq_read_bps: 130.0 * MB_S,
+                seq_write_bps: 110.0 * MB_S,
+                per_op_latency: 400e-6,
+                jitter_sigma: 0.05,
+                via_nic: false,
+                random_efficiency: 0.25,
+            },
+            DeviceKind::Ssd => DeviceProfile {
+                kind: self,
+                seq_read_bps: 270.0 * MB_S,
+                seq_write_bps: 260.0 * MB_S,
+                per_op_latency: 80e-6,
+                jitter_sigma: 0.03,
+                via_nic: false,
+                random_efficiency: 0.90,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Performance profile of a single device instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Which kind this profile describes.
+    pub kind: DeviceKind,
+    /// Sequential read bandwidth, bytes/second.
+    pub seq_read_bps: f64,
+    /// Sequential write bandwidth, bytes/second.
+    pub seq_write_bps: f64,
+    /// Fixed service latency per I/O operation reaching the device, seconds.
+    pub per_op_latency: f64,
+    /// Lognormal sigma of the multi-tenant performance jitter applied per
+    /// run (EBS is far noisier than local disks).
+    pub jitter_sigma: f64,
+    /// Whether traffic to this device traverses the instance NIC.
+    pub via_nic: bool,
+    /// Fraction of sequential bandwidth retained under random access
+    /// (spindles seek; SSDs barely care).
+    pub random_efficiency: f64,
+}
+
+impl DeviceProfile {
+    /// Bandwidth for the given direction.
+    pub fn bps(&self, write: bool) -> f64 {
+        if write {
+            self.seq_write_bps
+        } else {
+            self.seq_read_bps
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ephemeral_streams_faster_than_ebs() {
+        let eph = DeviceKind::Ephemeral.profile();
+        let ebs = DeviceKind::Ebs.profile();
+        assert!(eph.seq_write_bps > ebs.seq_write_bps);
+        assert!(eph.seq_read_bps > ebs.seq_read_bps);
+    }
+
+    #[test]
+    fn ebs_is_remote_and_noisy() {
+        let ebs = DeviceKind::Ebs.profile();
+        assert!(ebs.via_nic, "EBS traffic must share the instance NIC");
+        assert!(ebs.jitter_sigma > DeviceKind::Ephemeral.profile().jitter_sigma);
+    }
+
+    #[test]
+    fn local_devices_bypass_nic() {
+        assert!(!DeviceKind::Ephemeral.profile().via_nic);
+        assert!(!DeviceKind::Ssd.profile().via_nic);
+    }
+
+    #[test]
+    fn directioned_bandwidth_lookup() {
+        let p = DeviceKind::Ephemeral.profile();
+        assert_eq!(p.bps(true), p.seq_write_bps);
+        assert_eq!(p.bps(false), p.seq_read_bps);
+    }
+
+    #[test]
+    fn random_access_penalties_are_ordered_by_medium() {
+        // Spinning ephemeral disks seek worst; SSDs barely notice.
+        let eph = DeviceKind::Ephemeral.profile().random_efficiency;
+        let ebs = DeviceKind::Ebs.profile().random_efficiency;
+        let ssd = DeviceKind::Ssd.profile().random_efficiency;
+        assert!(eph < ebs && ebs < ssd);
+        for e in [eph, ebs, ssd] {
+            assert!((0.0..=1.0).contains(&e));
+        }
+    }
+
+    #[test]
+    fn table1_space_has_two_device_kinds() {
+        assert_eq!(DeviceKind::TABLE1.len(), 2);
+        assert_eq!(DeviceKind::Ebs.label(), "EBS");
+        assert_eq!(DeviceKind::Ephemeral.label(), "eph");
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Errors produced by the cloud simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudSimError {
+    /// A flow was declared with a non-positive byte count.
+    InvalidFlowSize { bytes: f64 },
+    /// A flow referenced a resource id that does not exist in the simulation.
+    UnknownResource { resource: usize },
+    /// A flow traverses no resources, so its rate would be unbounded.
+    PathlessFlow { flow: usize },
+    /// A resource was declared with a non-positive capacity.
+    InvalidCapacity { name: String, capacity: f64 },
+    /// The engine detected active flows that can make no progress.
+    Stalled { time: f64, active: usize },
+    /// A cluster specification was internally inconsistent.
+    InvalidCluster(String),
+    /// An injected fault terminated the run (used by failure-injection tests;
+    /// mirrors the paper's §5.6 observation 5 about I/O server connection
+    /// failures during training).
+    InjectedFault { time: f64, what: String },
+}
+
+impl fmt::Display for CloudSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudSimError::InvalidFlowSize { bytes } => {
+                write!(f, "flow size must be positive, got {bytes}")
+            }
+            CloudSimError::UnknownResource { resource } => {
+                write!(f, "flow references unknown resource id {resource}")
+            }
+            CloudSimError::PathlessFlow { flow } => {
+                write!(f, "flow {flow} traverses no resources")
+            }
+            CloudSimError::InvalidCapacity { name, capacity } => {
+                write!(f, "resource {name:?} has invalid capacity {capacity}")
+            }
+            CloudSimError::Stalled { time, active } => {
+                write!(f, "simulation stalled at t={time} with {active} active flows")
+            }
+            CloudSimError::InvalidCluster(msg) => write!(f, "invalid cluster: {msg}"),
+            CloudSimError::InjectedFault { time, what } => {
+                write!(f, "injected fault at t={time}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CloudSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CloudSimError::InvalidFlowSize { bytes: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let e = CloudSimError::Stalled { time: 3.5, active: 2 };
+        assert!(e.to_string().contains("3.5"));
+        assert!(e.to_string().contains("2"));
+        let e = CloudSimError::InvalidCluster("no nodes".into());
+        assert!(e.to_string().contains("no nodes"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Amazon EC2 Cluster Compute Instance types as of the paper's testbed
+//! (2012/2013): `cc1.4xlarge` and `cc2.8xlarge`.
+
+use crate::units::{GBIT_S, MB_S};
+
+/// The two CCI instance types in the ACIC exploration space (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstanceType {
+    /// cc1.4xlarge: 2 × quad-core Xeon, 23 GB, 10 GbE, 2 ephemeral disks.
+    Cc1_4xlarge,
+    /// cc2.8xlarge: 2 × 8-core Xeon, 60.5 GB, 10 GbE, 4 ephemeral disks
+    /// (the paper's evaluation platform).
+    Cc2_8xlarge,
+}
+
+impl InstanceType {
+    /// All instance types, in Table 1 order.
+    pub const ALL: [InstanceType; 2] = [InstanceType::Cc1_4xlarge, InstanceType::Cc2_8xlarge];
+
+    /// Physical cores available to MPI processes.
+    pub fn cores(self) -> usize {
+        match self {
+            InstanceType::Cc1_4xlarge => 8,
+            InstanceType::Cc2_8xlarge => 16,
+        }
+    }
+
+    /// Memory in GiB (bounds client-side write-back caching in `fsim`).
+    pub fn memory_gib(self) -> f64 {
+        match self {
+            InstanceType::Cc1_4xlarge => 23.0,
+            InstanceType::Cc2_8xlarge => 60.5,
+        }
+    }
+
+    /// NIC line rate in bytes/second (full duplex; each direction gets this).
+    /// Both CCI generations attach 10 GbE; we derate to ~88% for protocol
+    /// overhead, which matches the ~1.1 GB/s TCP goodput reported on CCIs.
+    pub fn nic_bps(self) -> f64 {
+        10.0 * GBIT_S * 0.88
+    }
+
+    /// Intra-instance memory-bus bandwidth for loopback I/O, bytes/second.
+    pub fn bus_bps(self) -> f64 {
+        match self {
+            InstanceType::Cc1_4xlarge => 6_000.0 * MB_S,
+            InstanceType::Cc2_8xlarge => 8_000.0 * MB_S,
+        }
+    }
+
+    /// Number of local ("ephemeral") disks shipped with the instance.
+    pub fn ephemeral_disks(self) -> usize {
+        match self {
+            InstanceType::Cc1_4xlarge => 2,
+            InstanceType::Cc2_8xlarge => 4,
+        }
+    }
+
+    /// On-demand hourly price in USD (us-east-1, 2012).
+    pub fn hourly_price(self) -> f64 {
+        match self {
+            InstanceType::Cc1_4xlarge => 1.30,
+            InstanceType::Cc2_8xlarge => 2.40,
+        }
+    }
+
+    /// The EC2 API name.
+    pub fn api_name(self) -> &'static str {
+        match self {
+            InstanceType::Cc1_4xlarge => "cc1.4xlarge",
+            InstanceType::Cc2_8xlarge => "cc2.8xlarge",
+        }
+    }
+
+    /// Instances needed to host `nprocs` MPI processes (one per core).
+    pub fn instances_for(self, nprocs: usize) -> usize {
+        nprocs.div_ceil(self.cores())
+    }
+}
+
+impl std::fmt::Display for InstanceType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.api_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc2_matches_paper_description() {
+        // "two 8-core Intel Xeon processors and 60.5GB of memory" (§5.1)
+        let t = InstanceType::Cc2_8xlarge;
+        assert_eq!(t.cores(), 16);
+        assert_eq!(t.memory_gib(), 60.5);
+        assert_eq!(t.ephemeral_disks(), 4);
+        assert_eq!(t.api_name(), "cc2.8xlarge");
+    }
+
+    #[test]
+    fn instances_for_rounds_up() {
+        let t = InstanceType::Cc2_8xlarge;
+        assert_eq!(t.instances_for(16), 1);
+        assert_eq!(t.instances_for(17), 2);
+        assert_eq!(t.instances_for(256), 16);
+        assert_eq!(InstanceType::Cc1_4xlarge.instances_for(256), 32);
+    }
+
+    #[test]
+    fn nic_is_roughly_ten_gbe() {
+        let bps = InstanceType::Cc2_8xlarge.nic_bps();
+        assert!(bps > 1.0e9 && bps < 1.25e9, "derated 10GbE, got {bps}");
+    }
+
+    #[test]
+    fn cc2_costs_more_than_cc1() {
+        assert!(InstanceType::Cc2_8xlarge.hourly_price() > InstanceType::Cc1_4xlarge.hourly_price());
+    }
+
+    #[test]
+    fn display_uses_api_name() {
+        assert_eq!(InstanceType::Cc1_4xlarge.to_string(), "cc1.4xlarge");
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-node network endpoints and routing helpers.
+//!
+//! The CCI fabric is 10 GbE with full bisection bandwidth (the paper's
+//! testbed has at most 16 instances on a non-blocking segment), so the only
+//! network bottlenecks are the per-instance NICs.  Each node gets a
+//! transmit resource, a receive resource (full duplex), and a memory-bus
+//! resource for loopback traffic (a part-time I/O server talking to the
+//! clients co-located on the same instance never touches the wire — the
+//! locality effect behind §5.6 observation 1).
+
+use crate::engine::Simulation;
+use crate::instance::InstanceType;
+use crate::resource::ResourceId;
+
+/// Network attachment of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeNet {
+    /// NIC transmit direction.
+    pub tx: ResourceId,
+    /// NIC receive direction.
+    pub rx: ResourceId,
+    /// Intra-node memory bus (loopback).
+    pub bus: ResourceId,
+}
+
+impl NodeNet {
+    /// Create the three per-node resources inside `sim`.
+    pub fn create(sim: &mut Simulation, node: usize, itype: InstanceType) -> Self {
+        let tx = sim.add_resource(format!("node{node}.nic.tx"), itype.nic_bps());
+        let rx = sim.add_resource(format!("node{node}.nic.rx"), itype.nic_bps());
+        let bus = sim.add_resource(format!("node{node}.bus"), itype.bus_bps());
+        Self { tx, rx, bus }
+    }
+}
+
+/// Append the resource path for moving data from node `from` to node `to`
+/// onto `out`.  Same-node traffic uses the memory bus only.
+pub fn route(nets: &[NodeNet], from: usize, to: usize, out: &mut Vec<ResourceId>) {
+    if from == to {
+        out.push(nets[from].bus);
+    } else {
+        out.push(nets[from].tx);
+        out.push(nets[to].rx);
+    }
+}
+
+/// Two-tier fabric description.  The paper's platform interconnects CCIs
+/// "with commodity networks instead of dedicated high-speed
+/// interconnection" (§1); commodity fabrics of the era were oversubscribed
+/// at the rack uplink.  The default is the flat full-bisection segment the
+/// evaluation testbed enjoyed (≤16 instances on one switch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricSpec {
+    /// Nodes per rack switch; 0 disables the rack tier (full bisection).
+    pub rack_size: usize,
+    /// Uplink oversubscription: the rack uplink carries
+    /// `rack_size × nic_bps / oversubscription` in each direction.
+    pub oversubscription: f64,
+}
+
+impl FabricSpec {
+    /// Flat full-bisection fabric (the default testbed).
+    pub const FLAT: FabricSpec = FabricSpec { rack_size: 0, oversubscription: 1.0 };
+
+    /// A `rack_size`-node rack with `oversubscription`:1 uplinks.
+    pub fn oversubscribed(rack_size: usize, oversubscription: f64) -> Self {
+        assert!(rack_size >= 2, "a rack needs at least two nodes");
+        assert!(oversubscription >= 1.0, "oversubscription is a ratio ≥ 1");
+        Self { rack_size, oversubscription }
+    }
+
+    /// Is the rack tier active?
+    pub fn is_tiered(&self) -> bool {
+        self.rack_size >= 2 && self.oversubscription > 0.0
+    }
+
+    /// The rack a node belongs to.
+    pub fn rack_of(&self, node: usize) -> usize {
+        if self.is_tiered() {
+            node / self.rack_size
+        } else {
+            0
+        }
+    }
+
+    /// Per-direction uplink capacity given a NIC speed.
+    pub fn uplink_bps(&self, nic_bps: f64) -> f64 {
+        self.rack_size as f64 * nic_bps / self.oversubscription
+    }
+}
+
+impl Default for FabricSpec {
+    fn default() -> Self {
+        Self::FLAT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+
+    #[test]
+    fn create_allocates_three_distinct_resources() {
+        let mut sim = Simulation::new();
+        let net = NodeNet::create(&mut sim, 0, InstanceType::Cc2_8xlarge);
+        assert_ne!(net.tx, net.rx);
+        assert_ne!(net.tx, net.bus);
+        assert_eq!(sim.resource_count(), 3);
+    }
+
+    #[test]
+    fn remote_route_uses_tx_and_rx() {
+        let mut sim = Simulation::new();
+        let a = NodeNet::create(&mut sim, 0, InstanceType::Cc2_8xlarge);
+        let b = NodeNet::create(&mut sim, 1, InstanceType::Cc2_8xlarge);
+        let mut path = Vec::new();
+        route(&[a, b], 0, 1, &mut path);
+        assert_eq!(path, vec![a.tx, b.rx]);
+    }
+
+    #[test]
+    fn loopback_route_uses_bus_only() {
+        let mut sim = Simulation::new();
+        let a = NodeNet::create(&mut sim, 0, InstanceType::Cc2_8xlarge);
+        let mut path = Vec::new();
+        route(&[a], 0, 0, &mut path);
+        assert_eq!(path, vec![a.bus]);
+    }
+
+    #[test]
+    fn loopback_is_faster_than_the_wire() {
+        // A same-node transfer must beat the identical remote transfer.
+        let bytes = 2.0e9;
+        let mut sim = Simulation::new();
+        let a = NodeNet::create(&mut sim, 0, InstanceType::Cc2_8xlarge);
+        let b = NodeNet::create(&mut sim, 1, InstanceType::Cc2_8xlarge);
+        let nets = [a, b];
+        let mut local = Vec::new();
+        route(&nets, 0, 0, &mut local);
+        let mut remote = Vec::new();
+        route(&nets, 0, 1, &mut remote);
+        let lf = sim.add_flow(FlowSpec::new(bytes).through_all(local));
+        let rf = sim.add_flow(FlowSpec::new(bytes).through_all(remote));
+        let rep = sim.run().unwrap();
+        assert!(rep.finish_time(lf).unwrap() < rep.finish_time(rf).unwrap());
+    }
+}

@@ -1,0 +1,134 @@
+//! Monetary cost model — the paper's equation (1) plus EC2 billing detail.
+//!
+//! ```text
+//! cost = execution time × num_instances × unit price          (eq. 1)
+//! ```
+//!
+//! The paper notes that EC2 actually bills at hourly granularity, which is
+//! what makes "residual time" piggy-back training runs free (§2); both the
+//! linear eq. (1) cost (used in all evaluation figures) and the hour-rounded
+//! bill are provided.
+
+use crate::instance::InstanceType;
+use crate::units::HOUR;
+
+/// Unit prices used throughout the reproduction (us-east-1, 2012 USD).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceSheet {
+    /// On-demand price of `cc1.4xlarge` per hour.
+    pub cc1_hourly: f64,
+    /// On-demand price of `cc2.8xlarge` per hour.
+    pub cc2_hourly: f64,
+    /// EBS standard volume price per GB-month.
+    pub ebs_gb_month: f64,
+    /// EBS price per million I/O requests.
+    pub ebs_million_ios: f64,
+}
+
+impl Default for PriceSheet {
+    fn default() -> Self {
+        Self {
+            cc1_hourly: InstanceType::Cc1_4xlarge.hourly_price(),
+            cc2_hourly: InstanceType::Cc2_8xlarge.hourly_price(),
+            ebs_gb_month: 0.10,
+            ebs_million_ios: 0.10,
+        }
+    }
+}
+
+impl PriceSheet {
+    /// Hourly price of an instance type.
+    pub fn hourly(&self, t: InstanceType) -> f64 {
+        match t {
+            InstanceType::Cc1_4xlarge => self.cc1_hourly,
+            InstanceType::Cc2_8xlarge => self.cc2_hourly,
+        }
+    }
+}
+
+/// Cost calculator for one execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostModel {
+    /// Prices in effect.
+    pub prices: PriceSheet,
+}
+
+impl CostModel {
+    /// Equation (1): linear-in-time cost of running `instances` instances of
+    /// `itype` for `secs` seconds.
+    pub fn linear_cost(&self, secs: f64, instances: usize, itype: InstanceType) -> f64 {
+        secs / HOUR * instances as f64 * self.prices.hourly(itype)
+    }
+
+    /// What EC2 would actually bill: each instance-hour started is charged
+    /// in full.
+    pub fn hourly_bill(&self, secs: f64, instances: usize, itype: InstanceType) -> f64 {
+        let hours = (secs / HOUR).ceil().max(1.0);
+        hours * instances as f64 * self.prices.hourly(itype)
+    }
+
+    /// Residual seconds left in the already-paid hour after a run of `secs`;
+    /// this is the free window the paper suggests for piggy-backed IOR
+    /// training runs (§2).
+    pub fn residual_secs(&self, secs: f64) -> f64 {
+        let frac = secs % HOUR;
+        if frac == 0.0 && secs > 0.0 {
+            0.0
+        } else {
+            HOUR - frac
+        }
+    }
+
+    /// EBS volume rental for `gb` GB over `secs` seconds (pro-rated from the
+    /// monthly price) plus `ios` I/O requests.
+    pub fn ebs_cost(&self, gb: f64, secs: f64, ios: f64) -> f64 {
+        const MONTH: f64 = 30.0 * 24.0 * HOUR;
+        gb * self.prices.ebs_gb_month * (secs / MONTH) + ios / 1.0e6 * self.prices.ebs_million_ios
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_linear_cost_matches_hand_computation() {
+        let m = CostModel::default();
+        // 16 cc2 instances for 150 s: 150/3600 * 16 * 2.40
+        let c = m.linear_cost(150.0, 16, InstanceType::Cc2_8xlarge);
+        assert!((c - 150.0 / 3600.0 * 16.0 * 2.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hourly_bill_rounds_up() {
+        let m = CostModel::default();
+        let one_hour = m.hourly_bill(1.0, 1, InstanceType::Cc1_4xlarge);
+        assert_eq!(one_hour, 1.30);
+        let two_hours = m.hourly_bill(3601.0, 1, InstanceType::Cc1_4xlarge);
+        assert_eq!(two_hours, 2.60);
+    }
+
+    #[test]
+    fn residual_time_is_the_rest_of_the_hour() {
+        let m = CostModel::default();
+        assert!((m.residual_secs(150.0) - 3450.0).abs() < 1e-9);
+        assert_eq!(m.residual_secs(3600.0), 0.0);
+    }
+
+    #[test]
+    fn ebs_cost_scales_with_usage() {
+        let m = CostModel::default();
+        let small = m.ebs_cost(100.0, 3600.0, 1.0e6);
+        let large = m.ebs_cost(1000.0, 3600.0, 1.0e7);
+        assert!(large > small);
+        // 100 GB for 1 hour at $0.10/GB-month is tiny but nonzero.
+        assert!(small > 0.0 && small < 1.0);
+    }
+
+    #[test]
+    fn price_sheet_lookup() {
+        let p = PriceSheet::default();
+        assert_eq!(p.hourly(InstanceType::Cc1_4xlarge), 1.30);
+        assert_eq!(p.hourly(InstanceType::Cc2_8xlarge), 2.40);
+    }
+}

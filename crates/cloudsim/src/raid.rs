@@ -1,0 +1,144 @@
+//! Software RAID-0 aggregation of cloud disk devices.
+//!
+//! Cloud HPC users "can easily scale up the aggregate I/O capacity and
+//! bandwidth, e.g., by aggregating multiple disks into a software RAID 0
+//! partition" (paper §3.1).  The ACIC baseline configuration itself is a
+//! RAID-0 of two EBS volumes under NFS.
+
+use crate::device::{DeviceKind, DeviceProfile};
+use crate::rng::SplitMix64;
+
+/// Striping efficiency of Linux `md` RAID-0: aggregate streaming bandwidth
+/// falls slightly short of the device sum because stripe-boundary splits and
+/// request re-queuing cost a few percent.
+const RAID0_EFFICIENCY: f64 = 0.95;
+
+/// An aggregated logical block device: `width` devices of one kind in RAID-0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Raid0 {
+    /// Device kind of every member.
+    pub kind: DeviceKind,
+    /// Number of member devices (1 = plain device, no striping overhead).
+    pub width: usize,
+}
+
+impl Raid0 {
+    /// A RAID-0 array of `width` devices of `kind`.
+    pub fn new(kind: DeviceKind, width: usize) -> Self {
+        assert!(width >= 1, "RAID-0 needs at least one member device");
+        Self { kind, width }
+    }
+
+    /// The aggregate performance profile, with per-run multi-tenant jitter
+    /// sampled independently per member device (a slow member drags the
+    /// whole stripe, hence the `min` over member draws scaled by width).
+    pub fn effective_profile(&self, rng: &mut SplitMix64) -> DeviceProfile {
+        let base = self.kind.profile();
+        // RAID-0 throughput is width × the *slowest* member: striping waits
+        // for every member each full stripe pass.
+        let mut worst = f64::INFINITY;
+        for _ in 0..self.width {
+            worst = worst.min(rng.jitter(base.jitter_sigma));
+        }
+        let eff = if self.width == 1 { 1.0 } else { RAID0_EFFICIENCY };
+        let scale = self.width as f64 * eff * worst;
+        DeviceProfile {
+            kind: base.kind,
+            seq_read_bps: base.seq_read_bps * scale,
+            seq_write_bps: base.seq_write_bps * scale,
+            // Per-op latency does not improve with striping; large requests
+            // spanning all members pay the max member latency (~ the base).
+            per_op_latency: base.per_op_latency,
+            jitter_sigma: base.jitter_sigma,
+            via_nic: base.via_nic,
+            random_efficiency: base.random_efficiency,
+        }
+    }
+
+    /// Deterministic (jitter-free) aggregate profile; used by analytic code
+    /// and tests that need exact expectations.
+    pub fn nominal_profile(&self) -> DeviceProfile {
+        let base = self.kind.profile();
+        let eff = if self.width == 1 { 1.0 } else { RAID0_EFFICIENCY };
+        let scale = self.width as f64 * eff;
+        DeviceProfile {
+            kind: base.kind,
+            seq_read_bps: base.seq_read_bps * scale,
+            seq_write_bps: base.seq_write_bps * scale,
+            per_op_latency: base.per_op_latency,
+            jitter_sigma: base.jitter_sigma,
+            via_nic: base.via_nic,
+            random_efficiency: base.random_efficiency,
+        }
+    }
+}
+
+impl std::fmt::Display for Raid0 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.width == 1 {
+            write!(f, "{}", self.kind)
+        } else {
+            write!(f, "{}x{} raid0", self.width, self.kind)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_width_panics() {
+        let _ = Raid0::new(DeviceKind::Ephemeral, 0);
+    }
+
+    #[test]
+    fn width_one_is_the_plain_device() {
+        let r = Raid0::new(DeviceKind::Ephemeral, 1);
+        let p = r.nominal_profile();
+        let base = DeviceKind::Ephemeral.profile();
+        assert_eq!(p.seq_write_bps, base.seq_write_bps);
+        assert_eq!(p.seq_read_bps, base.seq_read_bps);
+    }
+
+    #[test]
+    fn striping_scales_bandwidth_with_efficiency_loss() {
+        let r = Raid0::new(DeviceKind::Ephemeral, 4);
+        let p = r.nominal_profile();
+        let base = DeviceKind::Ephemeral.profile();
+        assert!(p.seq_write_bps > 3.5 * base.seq_write_bps);
+        assert!(p.seq_write_bps < 4.0 * base.seq_write_bps);
+    }
+
+    #[test]
+    fn latency_does_not_improve_with_width() {
+        let base = DeviceKind::Ebs.profile();
+        let p = Raid0::new(DeviceKind::Ebs, 4).nominal_profile();
+        assert_eq!(p.per_op_latency, base.per_op_latency);
+    }
+
+    #[test]
+    fn jittered_profile_stays_near_nominal() {
+        let r = Raid0::new(DeviceKind::Ephemeral, 2);
+        let nominal = r.nominal_profile().seq_write_bps;
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..100 {
+            let p = r.effective_profile(&mut rng);
+            let ratio = p.seq_write_bps / nominal;
+            assert!((0.25..=4.0).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn via_nic_propagates_from_device_kind() {
+        assert!(Raid0::new(DeviceKind::Ebs, 2).nominal_profile().via_nic);
+        assert!(!Raid0::new(DeviceKind::Ephemeral, 2).nominal_profile().via_nic);
+    }
+
+    #[test]
+    fn display_names_are_compact() {
+        assert_eq!(Raid0::new(DeviceKind::Ebs, 1).to_string(), "EBS");
+        assert_eq!(Raid0::new(DeviceKind::Ephemeral, 4).to_string(), "4xeph raid0");
+    }
+}

@@ -1,0 +1,75 @@
+//! Capacity-limited resources (NICs, disks, buses) shared by flows.
+
+use crate::error::CloudSimError;
+
+/// Identifier of a resource inside one [`crate::engine::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub(crate) usize);
+
+impl ResourceId {
+    /// The raw index (stable for the lifetime of the simulation).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuild an id from a raw index.  Only meaningful for indices obtained
+    /// from [`Self::index`] against the same simulation; used by report
+    /// consumers that store indices instead of ids.
+    pub fn from_index(i: usize) -> Self {
+        ResourceId(i)
+    }
+}
+
+/// A resource with a fixed service capacity in bytes/second.
+///
+/// Resources are pure capacity pools: the engine divides each resource's
+/// capacity among the flows traversing it with max-min fairness.  A NIC, a
+/// disk, a RAID array, and a memory bus are all just resources with
+/// different capacities.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Human-readable name, used in reports and error messages.
+    pub name: String,
+    /// Service capacity in bytes/second.
+    pub capacity: f64,
+    /// Total bytes served so far (updated by the engine as time advances);
+    /// lets tests assert conservation: bytes served == bytes of finished
+    /// flows attributed to this resource.
+    pub(crate) served: f64,
+}
+
+impl Resource {
+    /// Create a resource, validating the capacity.
+    pub fn new(name: impl Into<String>, capacity: f64) -> Result<Self, CloudSimError> {
+        let name = name.into();
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(CloudSimError::InvalidCapacity { name, capacity });
+        }
+        Ok(Self { name, capacity, served: 0.0 })
+    }
+
+    /// Bytes this resource has served so far.
+    pub fn served(&self) -> f64 {
+        self.served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_capacities() {
+        assert!(Resource::new("x", 0.0).is_err());
+        assert!(Resource::new("x", -5.0).is_err());
+        assert!(Resource::new("x", f64::NAN).is_err());
+        assert!(Resource::new("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn accepts_positive_capacity() {
+        let r = Resource::new("nic", 1.25e9).unwrap();
+        assert_eq!(r.capacity, 1.25e9);
+        assert_eq!(r.served(), 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Deterministic pseudo-random numbers for the simulator.
+//!
+//! Multi-tenant clouds deliver "inferior and sometimes highly variable
+//! performance" (paper §1); we reproduce that variability with a small,
+//! seedable generator so that every experiment in the repository is
+//! bit-reproducible.  SplitMix64 is used because it is tiny, passes BigCrush
+//! when used as a stream, and makes per-run seed derivation trivial.
+
+/// A SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derive an independent child generator; used to give each simulated
+    /// run in a sweep its own stream (`derive(experiment_id, run_index)`).
+    pub fn derive(&self, salt: u64) -> Self {
+        let mut child = Self::new(self.state ^ salt.wrapping_mul(0x9E3779B97F4A7C15));
+        child.next_u64();
+        child
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> [0,1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform double in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free mapping; bias is negligible for the
+        // small `n` used here (config counts, permutation indices).
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Standard normal via Box-Muller (one value per call; simple and
+    /// deterministic, speed is irrelevant at our call rates).
+    pub fn std_normal(&mut self) -> f64 {
+        let u1 = self.next_f64().max(1e-300);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Multiplicative jitter factor: lognormal with median 1 and the given
+    /// sigma, clamped to `[0.25, 4.0]` so a tail draw cannot produce absurd
+    /// device speeds.  `sigma = 0` returns exactly 1.0.
+    pub fn jitter(&mut self, sigma: f64) -> f64 {
+        if sigma == 0.0 {
+            return 1.0;
+        }
+        (self.std_normal() * sigma).exp().clamp(0.25, 4.0)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_gives_independent_streams() {
+        let root = SplitMix64::new(7);
+        let mut a = root.derive(0);
+        let mut b = root.derive(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let x = r.uniform(10.0, 20.0);
+            assert!((10.0..20.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut r = SplitMix64::new(11);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn std_normal_has_roughly_zero_mean_unit_var() {
+        let mut r = SplitMix64::new(13);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.std_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn jitter_zero_sigma_is_identity() {
+        let mut r = SplitMix64::new(17);
+        assert_eq!(r.jitter(0.0), 1.0);
+    }
+
+    #[test]
+    fn jitter_is_clamped_and_centred() {
+        let mut r = SplitMix64::new(19);
+        let n = 10_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.jitter(0.2)).collect();
+        assert!(xs.iter().all(|&x| (0.25..=4.0).contains(&x)));
+        // Median of a lognormal with mu=0 is 1.
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[n / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(23);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "shuffle should move things");
+    }
+}

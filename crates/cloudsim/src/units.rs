@@ -1,0 +1,94 @@
+//! Unit helpers: bytes, bandwidths, and durations are all plain `f64`s in
+//! this crate (bytes, bytes/second, seconds); these constants and conversion
+//! helpers keep call sites readable and keep the magnitudes honest.
+
+/// One kibibyte in bytes.
+pub const KIB: f64 = 1024.0;
+/// One mebibyte in bytes.
+pub const MIB: f64 = 1024.0 * 1024.0;
+/// One gibibyte in bytes.
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Megabytes-per-second expressed in bytes/second (decimal MB, as disk
+/// vendors quote sequential bandwidth).
+pub const MB_S: f64 = 1.0e6;
+/// Gigabits-per-second expressed in bytes/second (as NICs are quoted).
+pub const GBIT_S: f64 = 1.0e9 / 8.0;
+
+/// Seconds in one hour (billing granularity on EC2).
+pub const HOUR: f64 = 3600.0;
+
+/// Convert a mebibyte count to bytes.
+#[inline]
+pub fn mib(n: f64) -> f64 {
+    n * MIB
+}
+
+/// Convert a gibibyte count to bytes.
+#[inline]
+pub fn gib(n: f64) -> f64 {
+    n * GIB
+}
+
+/// Convert a kibibyte count to bytes.
+#[inline]
+pub fn kib(n: f64) -> f64 {
+    n * KIB
+}
+
+/// Render a byte count as a human-readable string (for reports).
+pub fn fmt_bytes(bytes: f64) -> String {
+    if bytes >= GIB {
+        format!("{:.1} GiB", bytes / GIB)
+    } else if bytes >= MIB {
+        format!("{:.1} MiB", bytes / MIB)
+    } else if bytes >= KIB {
+        format!("{:.1} KiB", bytes / KIB)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+/// Render a duration in seconds as a human-readable string (for reports).
+pub fn fmt_secs(secs: f64) -> String {
+    if secs >= 3600.0 {
+        format!("{:.2} h", secs / 3600.0)
+    } else if secs >= 60.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else {
+        format!("{:.1} ms", secs * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(mib(1.0), 1048576.0);
+        assert_eq!(gib(2.0), 2.0 * 1073741824.0);
+        assert_eq!(kib(64.0), 65536.0);
+    }
+
+    #[test]
+    fn bandwidth_constants_have_expected_magnitude() {
+        // A 10 GbE NIC moves 1.25e9 bytes per second.
+        assert!((10.0 * GBIT_S - 1.25e9).abs() < 1e-6);
+        assert_eq!(MB_S, 1.0e6);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert_eq!(fmt_bytes(512.0), "512 B");
+        assert_eq!(fmt_bytes(2.0 * KIB), "2.0 KiB");
+        assert_eq!(fmt_bytes(3.5 * MIB), "3.5 MiB");
+        assert_eq!(fmt_bytes(6.4 * GIB), "6.4 GiB");
+        assert_eq!(fmt_secs(0.0123), "12.3 ms");
+        assert_eq!(fmt_secs(12.3), "12.30 s");
+        assert_eq!(fmt_secs(90.0), "1.5 min");
+        assert_eq!(fmt_secs(7200.0), "2.00 h");
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests of the two-tier (oversubscribed) fabric model.
+
+use acic_cloudsim::cluster::{Cluster, ClusterSpec, Placement};
+use acic_cloudsim::device::DeviceKind;
+use acic_cloudsim::engine::Simulation;
+use acic_cloudsim::flow::FlowSpec;
+use acic_cloudsim::instance::InstanceType;
+use acic_cloudsim::network::FabricSpec;
+use acic_cloudsim::raid::Raid0;
+use acic_cloudsim::rng::SplitMix64;
+use acic_cloudsim::units::gib;
+
+fn build(fabric: FabricSpec, compute: usize) -> (Simulation, Cluster) {
+    let spec = ClusterSpec {
+        instance_type: InstanceType::Cc2_8xlarge,
+        compute_instances: compute,
+        io_servers: 1,
+        placement: Placement::Dedicated,
+        storage: Raid0::new(DeviceKind::Ephemeral, 1),
+    };
+    let mut sim = Simulation::new();
+    let mut rng = SplitMix64::new(1);
+    let c = Cluster::build_with_fabric(spec, fabric, &mut sim, &mut rng).unwrap();
+    (sim, c)
+}
+
+#[test]
+fn flat_fabric_adds_no_uplinks() {
+    let (_, c) = build(FabricSpec::FLAT, 8);
+    assert!(c.rack_uplinks.is_empty());
+    let mut path = Vec::new();
+    c.net_path(0, 7, &mut path);
+    assert_eq!(path.len(), 2, "tx + rx only");
+}
+
+#[test]
+fn tiered_fabric_routes_interrack_through_uplinks() {
+    let (_, c) = build(FabricSpec::oversubscribed(4, 4.0), 8);
+    assert_eq!(c.rack_uplinks.len(), 3, "8 compute + 1 server node = 3 racks of 4");
+    let mut intra = Vec::new();
+    c.net_path(0, 3, &mut intra); // same rack
+    assert_eq!(intra.len(), 2);
+    let mut inter = Vec::new();
+    c.net_path(0, 4, &mut inter); // rack 0 -> rack 1
+    assert_eq!(inter.len(), 4, "tx + up + down + rx");
+}
+
+#[test]
+fn oversubscription_throttles_cross_rack_aggregate() {
+    // 4 nodes per rack, 4:1 oversubscription: the uplink carries one NIC's
+    // worth.  Four concurrent cross-rack flows therefore take ~4x longer
+    // than on a flat fabric.
+    let bytes = gib(2.0);
+    let measure = |fabric: FabricSpec| {
+        let (mut sim, c) = build(fabric, 8);
+        let mut ids = Vec::new();
+        for i in 0..4usize {
+            let mut path = Vec::new();
+            c.net_path(i, 4 + i, &mut path);
+            ids.push(sim.add_flow(FlowSpec::new(bytes).through_all(path)));
+        }
+        sim.run().unwrap().makespan()
+    };
+    let flat = measure(FabricSpec::FLAT);
+    let tiered = measure(FabricSpec::oversubscribed(4, 4.0));
+    let ratio = tiered / flat;
+    assert!(
+        (3.5..=4.5).contains(&ratio),
+        "4:1 oversubscription should cost ~4x on saturated cross-rack traffic, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn intra_rack_traffic_is_unaffected_by_oversubscription() {
+    let bytes = gib(1.0);
+    let measure = |fabric: FabricSpec| {
+        let (mut sim, c) = build(fabric, 8);
+        let mut path = Vec::new();
+        c.net_path(0, 1, &mut path);
+        let f = sim.add_flow(FlowSpec::new(bytes).through_all(path));
+        let rep = sim.run().unwrap();
+        rep.finish_time(f).unwrap()
+    };
+    let flat = measure(FabricSpec::FLAT);
+    let tiered = measure(FabricSpec::oversubscribed(4, 8.0));
+    assert!((flat - tiered).abs() < 1e-9, "same-rack flows never see the uplink");
+}
+
+#[test]
+fn fabric_spec_validations() {
+    assert!(!FabricSpec::FLAT.is_tiered());
+    let f = FabricSpec::oversubscribed(4, 2.0);
+    assert!(f.is_tiered());
+    assert_eq!(f.rack_of(0), 0);
+    assert_eq!(f.rack_of(3), 0);
+    assert_eq!(f.rack_of(4), 1);
+    let nic = InstanceType::Cc2_8xlarge.nic_bps();
+    assert!((f.uplink_bps(nic) - 4.0 * nic / 2.0).abs() < 1e-6);
+}
+
+#[test]
+#[should_panic(expected = "ratio")]
+fn undersubscription_rejected() {
+    let _ = FabricSpec::oversubscribed(4, 0.5);
+}

@@ -1,0 +1,60 @@
+//! Error type for the ACIC pipeline.
+
+use acic_cloudsim::error::CloudSimError;
+use std::fmt;
+
+/// Errors surfaced by the ACIC pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AcicError {
+    /// The underlying simulator rejected a run.
+    Sim(CloudSimError),
+    /// A query or training request was invalid.
+    Invalid(String),
+    /// The training database cannot be decoded.
+    Codec { line: usize, reason: String },
+    /// No training data available for prediction.
+    Untrained,
+}
+
+impl fmt::Display for AcicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcicError::Sim(e) => write!(f, "simulation failed: {e}"),
+            AcicError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            AcicError::Codec { line, reason } => {
+                write!(f, "training database parse error at line {line}: {reason}")
+            }
+            AcicError::Untrained => write!(f, "the prediction model has no training data"),
+        }
+    }
+}
+
+impl std::error::Error for AcicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AcicError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CloudSimError> for AcicError {
+    fn from(e: CloudSimError) -> Self {
+        AcicError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = AcicError::from(CloudSimError::InvalidCluster("x".into()));
+        assert!(e.to_string().contains("simulation failed"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = AcicError::Codec { line: 3, reason: "bad field".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

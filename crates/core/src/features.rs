@@ -1,0 +1,140 @@
+//! Encoding of space points into CART feature vectors.
+
+use crate::space::{AppPoint, SystemConfig};
+use acic_cart::Feature;
+#[cfg(test)]
+use acic_cart::FeatureKind;
+use acic_cloudsim::cluster::Placement;
+use acic_cloudsim::device::DeviceKind;
+use acic_cloudsim::instance::InstanceType;
+use acic_fsim::{FsType, IoApi, IoOp};
+
+/// Number of features (one per Table 1 dimension).
+pub const N_FEATURES: usize = 15;
+
+/// The CART feature schema for the 15-D space: categorical columns for the
+/// unordered dimensions, numeric for the ordered ones.
+pub fn schema() -> Vec<Feature> {
+    vec![
+        Feature::categorical("DEVICE", 3),
+        Feature::categorical("FILE_SYSTEM", 2),
+        Feature::categorical("INSTANCE_TYPE", 2),
+        Feature::numeric("IO_SERVERS"),
+        Feature::categorical("PLACEMENT", 2),
+        Feature::numeric("STRIPE_SIZE"),
+        Feature::numeric("NUM_PROCS"),
+        Feature::numeric("NUM_IO_PROCS"),
+        Feature::categorical("IO_INTERFACE", 4),
+        Feature::numeric("ITERATIONS"),
+        Feature::numeric("DATA_SIZE"),
+        Feature::numeric("REQUEST_SIZE"),
+        Feature::categorical("READ_WRITE", 2),
+        Feature::categorical("COLLECTIVE", 2),
+        Feature::categorical("FILE_SHARING", 2),
+    ]
+}
+
+/// Categorical code of a device kind.
+pub fn device_code(d: DeviceKind) -> f64 {
+    match d {
+        DeviceKind::Ebs => 0.0,
+        DeviceKind::Ephemeral => 1.0,
+        DeviceKind::Ssd => 2.0,
+    }
+}
+
+/// Categorical code of an I/O interface.
+pub fn api_code(a: IoApi) -> f64 {
+    match a {
+        IoApi::Posix => 0.0,
+        IoApi::MpiIo => 1.0,
+        IoApi::Hdf5 => 2.0,
+        IoApi::NetCdf => 3.0,
+    }
+}
+
+/// Encode a (system, app) pair into a feature row matching [`schema`].
+pub fn encode(system: &SystemConfig, app: &AppPoint) -> Vec<f64> {
+    let system = system.normalized();
+    let app = app.normalized();
+    vec![
+        device_code(system.device),
+        match system.fs {
+            FsType::Nfs => 0.0,
+            FsType::Pvfs2 => 1.0,
+        },
+        match system.instance_type {
+            InstanceType::Cc1_4xlarge => 0.0,
+            InstanceType::Cc2_8xlarge => 1.0,
+        },
+        system.io_servers as f64,
+        match system.placement {
+            Placement::PartTime => 0.0,
+            Placement::Dedicated => 1.0,
+        },
+        system.stripe_size,
+        app.nprocs as f64,
+        app.io_procs as f64,
+        api_code(app.api),
+        app.iterations as f64,
+        app.data_size,
+        app.request_size,
+        match app.op {
+            IoOp::Read => 0.0,
+            IoOp::Write => 1.0,
+        },
+        f64::from(app.collective),
+        f64::from(app.shared_file),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpacePoint;
+
+    #[test]
+    fn schema_and_encoding_agree_on_arity() {
+        let p = SpacePoint::default_point();
+        let row = encode(&p.system, &p.app);
+        assert_eq!(row.len(), schema().len());
+        assert_eq!(row.len(), N_FEATURES);
+    }
+
+    #[test]
+    fn categorical_cells_stay_in_range() {
+        let p = SpacePoint::default_point();
+        let row = encode(&p.system, &p.app);
+        for (cell, feat) in row.iter().zip(schema()) {
+            if let FeatureKind::Categorical { arity } = feat.kind {
+                assert!(cell.fract() == 0.0 && *cell < f64::from(arity),
+                    "{}: {cell}", feat.name);
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_normalizes_first() {
+        // NFS with 4 "servers" must encode as 1 server.
+        let mut p = SpacePoint::default_point();
+        p.system.io_servers = 4;
+        let row = encode(&p.system, &p.app);
+        assert_eq!(row[3], 1.0);
+    }
+
+    #[test]
+    fn distinct_configs_encode_distinctly() {
+        use crate::space::SystemConfig;
+        use acic_cloudsim::instance::InstanceType;
+        let p = SpacePoint::default_point();
+        let rows: Vec<Vec<f64>> = SystemConfig::candidates(InstanceType::Cc2_8xlarge)
+            .iter()
+            .map(|c| encode(c, &p.app))
+            .collect();
+        for i in 0..rows.len() {
+            for j in (i + 1)..rows.len() {
+                assert_ne!(rows[i], rows[j], "configs {i} and {j} collide");
+            }
+        }
+    }
+}

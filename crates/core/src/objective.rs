@@ -1,0 +1,101 @@
+//! Optimization objectives: execution time or monetary cost
+//! ("User-specified Optimization Goal (Performance/Cost)", Figure 2).
+
+use acic_iobench::IorReport;
+
+/// What the user wants minimized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Total execution time.
+    Performance,
+    /// Monetary cost by the paper's eq. (1).
+    Cost,
+}
+
+impl Objective {
+    /// Both objectives.
+    pub const ALL: [Objective; 2] = [Objective::Performance, Objective::Cost];
+
+    /// Extract the metric (lower is better) from a benchmark report.
+    pub fn metric(self, report: &IorReport) -> f64 {
+        match self {
+            Objective::Performance => report.secs(),
+            Objective::Cost => report.cost,
+        }
+    }
+
+    /// Improvement of `ours` over `baseline` (both lower-is-better):
+    /// `baseline / ours`, i.e. speedup for Performance (paper eq. (2)) and
+    /// the cost ratio whose complement is the cost saving (eq. (3)).
+    pub fn improvement(self, baseline_metric: f64, our_metric: f64) -> f64 {
+        if our_metric <= 0.0 {
+            return 0.0;
+        }
+        baseline_metric / our_metric
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Objective::Performance => "performance",
+            Objective::Cost => "cost",
+        })
+    }
+}
+
+/// Cost saving percentage relative to a reference (paper eq. (3)).
+pub fn cost_saving_pct(reference: f64, ours: f64) -> f64 {
+    if reference <= 0.0 {
+        return 0.0;
+    }
+    (reference - ours) / reference * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_fsim::RunOutcome;
+
+    fn report(secs: f64, cost: f64) -> IorReport {
+        IorReport {
+            outcome: RunOutcome {
+                total_secs: secs,
+                io_secs: secs,
+                compute_secs: 0.0,
+                phase_secs: vec![],
+                faults: 0,
+            },
+            bandwidth_bps: 0.0,
+            cost,
+            instances: 1,
+        }
+    }
+
+    #[test]
+    fn metrics_select_the_right_field() {
+        let r = report(10.0, 0.5);
+        assert_eq!(Objective::Performance.metric(&r), 10.0);
+        assert_eq!(Objective::Cost.metric(&r), 0.5);
+    }
+
+    #[test]
+    fn improvement_is_baseline_over_ours() {
+        assert_eq!(Objective::Performance.improvement(30.0, 10.0), 3.0);
+        assert_eq!(Objective::Cost.improvement(1.0, 2.0), 0.5);
+        assert_eq!(Objective::Performance.improvement(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn cost_saving_matches_eq3() {
+        assert_eq!(cost_saving_pct(2.0, 1.0), 50.0);
+        assert!((cost_saving_pct(1.0, 1.4) + 40.0).abs() < 1e-9, "negative saving possible");
+        assert_eq!(cost_saving_pct(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Objective::Performance.to_string(), "performance");
+        assert_eq!(Objective::Cost.to_string(), "cost");
+    }
+}

@@ -1,0 +1,247 @@
+//! The CART-backed black-box predictor and top-k recommender (paper §4.2).
+
+use crate::error::AcicError;
+use crate::features::encode;
+use crate::objective::Objective;
+use crate::space::{AppPoint, SystemConfig};
+use crate::training::TrainingDb;
+use acic_cart::render::render_with;
+use acic_cart::{Model, ModelKind, Tree};
+use acic_cloudsim::instance::InstanceType;
+use acic_cloudsim::units::mib;
+
+/// A trained predictor: one regression model per objective, both
+/// predicting *improvement over the baseline configuration*.  The paper's
+/// model is the cross-validation-pruned CART tree ([`ModelKind::Cart`],
+/// the default); the bagged forest and k-NN alternatives plug in through
+/// [`Self::train_with`].
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    model_perf: Model,
+    model_cost: Model,
+}
+
+impl Predictor {
+    /// Train both models on a database (CART with cross-validated pruning,
+    /// the paper's configuration).
+    pub fn train(db: &TrainingDb, seed: u64) -> Result<Self, AcicError> {
+        Self::train_with(db, seed, ModelKind::Cart)
+    }
+
+    /// Train with an explicit learning algorithm.
+    pub fn train_with(db: &TrainingDb, seed: u64, kind: ModelKind) -> Result<Self, AcicError> {
+        if db.is_empty() {
+            return Err(AcicError::Untrained);
+        }
+        let model_perf = Model::fit(&db.to_dataset(Objective::Performance), kind, seed);
+        let model_cost = Model::fit(&db.to_dataset(Objective::Cost), kind, seed ^ 1);
+        Ok(Self { model_perf, model_cost })
+    }
+
+    /// The model backing an objective.
+    pub fn model(&self, objective: Objective) -> &Model {
+        match objective {
+            Objective::Performance => &self.model_perf,
+            Objective::Cost => &self.model_cost,
+        }
+    }
+
+    /// Access the underlying tree for an objective (Fig. 4 rendering,
+    /// diagnostics).
+    ///
+    /// # Panics
+    /// Panics when the predictor was trained with a non-CART model; use
+    /// [`Self::model`] for algorithm-agnostic access.
+    pub fn tree(&self, objective: Objective) -> &Tree {
+        self.model(objective)
+            .as_tree()
+            .expect("tree() requires a CART-backed predictor")
+    }
+
+    /// Predicted improvement (baseline ÷ candidate; > 1 beats baseline) of
+    /// running `app` on `system`.
+    pub fn predict(&self, system: &SystemConfig, app: &AppPoint, objective: Objective) -> f64 {
+        self.model(objective).predict(&encode(system, app)).value
+    }
+
+    /// Rank all candidate configurations for `app` by predicted
+    /// improvement; returns `(config, predicted_improvement)` sorted best
+    /// first, only configurations deployable at the app's scale.
+    ///
+    /// "ACIC joins the application's I/O characteristics with all candidate
+    /// I/O system configurations considered, as the input to the CART
+    /// model ... a full exploration of system configuration space is
+    /// affordable here" (§4.2).
+    pub fn rank_candidates(
+        &self,
+        app: &AppPoint,
+        objective: Objective,
+        instance_type: InstanceType,
+    ) -> Vec<(SystemConfig, f64)> {
+        let mut scored: Vec<(SystemConfig, f64)> = SystemConfig::candidates(instance_type)
+            .into_iter()
+            .filter(|c| c.valid_for(app.nprocs))
+            .map(|c| {
+                let imp = self.predict(&c, app, objective);
+                (c, imp)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.notation().cmp(&b.0.notation())));
+        scored
+    }
+
+    /// The top-k recommendation list (paper: "ACIC can be configured to
+    /// report the top k predicted optimized candidates").
+    pub fn top_k(
+        &self,
+        app: &AppPoint,
+        objective: Objective,
+        instance_type: InstanceType,
+        k: usize,
+    ) -> Vec<(SystemConfig, f64)> {
+        let mut r = self.rank_candidates(app, objective, instance_type);
+        r.truncate(k.max(1));
+        r
+    }
+
+    /// Render the model tree in the paper's Figure 4 style, with feature
+    /// values printed as their domain labels.
+    pub fn render_tree(&self, objective: Objective) -> String {
+        let schema = crate::features::schema();
+        render_with(self.tree(objective), &move |feature, value| {
+            match schema[feature].name.as_str() {
+                "DEVICE" => ["EBS", "ephemeral", "ssd"][value as usize].to_string(),
+                "FILE_SYSTEM" => ["NFS", "PVFS2"][value as usize].to_string(),
+                "INSTANCE_TYPE" => ["cc1.4xlarge", "cc2.8xlarge"][value as usize].to_string(),
+                "PLACEMENT" => ["part-time", "dedicated"][value as usize].to_string(),
+                "IO_INTERFACE" => ["POSIX", "MPI-IO", "HDF5", "netCDF"][value as usize].to_string(),
+                "READ_WRITE" => ["read", "write"][value as usize].to_string(),
+                "COLLECTIVE" | "FILE_SHARING" => ["no", "yes"][value as usize].to_string(),
+                "STRIPE_SIZE" | "DATA_SIZE" | "REQUEST_SIZE" => {
+                    if value >= mib(1.0) {
+                        format!("{:.0}MB", value / mib(1.0))
+                    } else {
+                        format!("{:.0}KB", value / 1024.0)
+                    }
+                }
+                _ => format!("{value:.0}"),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpacePoint;
+    use crate::training::Trainer;
+
+    fn small_db() -> TrainingDb {
+        Trainer::with_paper_ranking(5).collect(4).unwrap()
+    }
+
+    #[test]
+    fn untrained_predictor_is_an_error() {
+        assert!(matches!(
+            Predictor::train(&TrainingDb::default(), 1),
+            Err(AcicError::Untrained)
+        ));
+    }
+
+    #[test]
+    fn predicts_finite_improvements_for_all_candidates() {
+        let p = Predictor::train(&small_db(), 1).unwrap();
+        let app = SpacePoint::default_point().app;
+        for (cfg, imp) in p.rank_candidates(&app, Objective::Performance, InstanceType::Cc2_8xlarge)
+        {
+            assert!(imp.is_finite() && imp > 0.0, "{}: {imp}", cfg.notation());
+        }
+    }
+
+    #[test]
+    fn ranking_is_sorted_descending() {
+        let p = Predictor::train(&small_db(), 1).unwrap();
+        let app = SpacePoint::default_point().app;
+        let ranked = p.rank_candidates(&app, Objective::Cost, InstanceType::Cc2_8xlarge);
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn top_k_truncates_and_keeps_order() {
+        let p = Predictor::train(&small_db(), 1).unwrap();
+        let app = SpacePoint::default_point().app;
+        let all = p.rank_candidates(&app, Objective::Performance, InstanceType::Cc2_8xlarge);
+        let top3 = p.top_k(&app, Objective::Performance, InstanceType::Cc2_8xlarge, 3);
+        assert_eq!(top3.len(), 3);
+        assert_eq!(top3[0].0, all[0].0);
+        let top0 = p.top_k(&app, Objective::Performance, InstanceType::Cc2_8xlarge, 0);
+        assert_eq!(top0.len(), 1, "k is clamped to at least 1");
+    }
+
+    #[test]
+    fn candidates_respect_scale_validity() {
+        let p = Predictor::train(&small_db(), 1).unwrap();
+        let mut app = SpacePoint::default_point().app;
+        app.nprocs = 32; // 2 cc2 instances: 4 part-time servers are invalid
+        for (cfg, _) in p.rank_candidates(&app, Objective::Performance, InstanceType::Cc2_8xlarge)
+        {
+            assert!(cfg.valid_for(32));
+        }
+    }
+
+    #[test]
+    fn rendered_tree_uses_domain_labels() {
+        let p = Predictor::train(&small_db(), 1).unwrap();
+        let s = p.render_tree(Objective::Performance);
+        assert!(s.contains("avg="), "tree renders node stats:\n{s}");
+        // With data size as the dominant dimension, the tree should split
+        // on a size-like feature and print it in MB/KB.
+        assert!(s.contains("MB") || s.contains("KB") || s.contains("leaf"), "{s}");
+    }
+
+    #[test]
+    fn alternative_models_plug_in() {
+        let db = small_db();
+        let app = SpacePoint::default_point().app;
+        for kind in [
+            acic_cart::ModelKind::Cart,
+            acic_cart::ModelKind::Forest { n_trees: 9 },
+            acic_cart::ModelKind::Knn { k: 7 },
+        ] {
+            let p = Predictor::train_with(&db, 2, kind).unwrap();
+            let ranked = p.rank_candidates(&app, Objective::Performance, InstanceType::Cc2_8xlarge);
+            assert!(!ranked.is_empty(), "{kind}");
+            for (_, imp) in &ranked {
+                assert!(imp.is_finite(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a CART-backed predictor")]
+    fn tree_access_panics_for_knn() {
+        let p = Predictor::train_with(&small_db(), 1, acic_cart::ModelKind::Knn { k: 3 }).unwrap();
+        let _ = p.tree(Objective::Performance);
+    }
+
+    #[test]
+    fn trained_model_prefers_more_servers_for_big_collective_writes() {
+        // Qualitative sanity (§5.6 obs 2): for a large collective MPI-IO
+        // write, the top recommendation should not be a single-server
+        // PVFS2 — the model must have learned that more servers help.
+        let db = Trainer::with_paper_ranking(5).collect(5).unwrap();
+        let p = Predictor::train(&db, 1).unwrap();
+        let mut app = SpacePoint::default_point().app;
+        app.data_size = mib(512.0);
+        app.collective = true;
+        let top = p.top_k(&app, Objective::Performance, InstanceType::Cc2_8xlarge, 1);
+        let best = top[0].0;
+        assert!(
+            best.fs == acic_fsim::FsType::Nfs || best.io_servers >= 2,
+            "single-server PVFS2 recommended for a huge write: {}",
+            best.notation()
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Adapter from the `acic-apps` profiler output to an ACIC query point —
+//! the "Application's IO Characteristics" input arrow of Figure 2.
+
+use crate::space::AppPoint;
+use acic_apps::IoCharacteristics;
+
+/// Convert profiled characteristics into a query point.
+pub fn app_point_from(chars: &IoCharacteristics) -> AppPoint {
+    AppPoint {
+        nprocs: chars.nprocs,
+        io_procs: chars.io_procs,
+        api: chars.api,
+        iterations: chars.iterations,
+        data_size: chars.data_size,
+        request_size: chars.request_size,
+        op: chars.op,
+        collective: chars.collective,
+        shared_file: chars.shared_file,
+    }
+    .normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_apps::{profile, AppModel, Btio, FlashIo, MadBench2, MpiBlast};
+
+    #[test]
+    fn every_evaluation_app_profiles_to_a_valid_point() {
+        let models: Vec<Box<dyn AppModel>> = vec![
+            Box::new(Btio::class_c(64)),
+            Box::new(Btio::class_c(256)),
+            Box::new(FlashIo::paper(64)),
+            Box::new(FlashIo::paper(256)),
+            Box::new(MpiBlast::paper(32)),
+            Box::new(MpiBlast::paper(128)),
+            Box::new(MadBench2::paper(64)),
+            Box::new(MadBench2::paper(256)),
+        ];
+        for m in &models {
+            let chars = profile(&m.trace()).expect("apps always do I/O");
+            let point = app_point_from(&chars);
+            assert_eq!(point.nprocs, m.nprocs(), "{}", m.name());
+            assert!(point.to_ior().validate().is_ok(), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn btio_profiles_as_collective_mpiio_writer() {
+        let chars = profile(&Btio::class_c(64).trace()).unwrap();
+        let p = app_point_from(&chars);
+        assert!(p.collective);
+        assert!(p.shared_file);
+        assert_eq!(p.op, acic_fsim::IoOp::Write);
+    }
+
+    #[test]
+    fn mpiblast_profiles_as_posix_reader() {
+        let chars = profile(&MpiBlast::paper(64).trace()).unwrap();
+        let p = app_point_from(&chars);
+        assert_eq!(p.api, acic_fsim::IoApi::Posix);
+        assert_eq!(p.op, acic_fsim::IoOp::Read);
+        assert!(!p.shared_file);
+    }
+}

@@ -1,0 +1,140 @@
+//! The dimension reducer: foldover PB screening of the 15 parameters over
+//! IOR runs on the simulated cloud (paper §4.1).
+//!
+//! "We built the ACIC foldover PB Matrix for the 15-dimensional exploration
+//! space given in Table 1, with N = 15 and N′ = 16, requiring only
+//! N′ × 2 = 32 runs. ... We carried out the 32 test runs with IOR on the
+//! cloud storage system configured according to the PBM rows."
+
+use crate::error::AcicError;
+use crate::objective::Objective;
+use crate::space::{ParamId, SpacePoint};
+use acic_cloudsim::cluster::Placement;
+use acic_iobench::run_ior;
+use acic_pbdesign::screening::{screen, Screening};
+
+/// Outcome of the PB screening campaign.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// Parameters ordered most- to least-important.
+    pub ranking: Vec<ParamId>,
+    /// `(parameter, signed effect, rank)` in Table 1 order.
+    pub effects: Vec<(ParamId, f64, usize)>,
+    /// Measurement runs executed (32 for the foldover 15-D screen).
+    pub runs: usize,
+    /// Simulated money spent on the screening runs, USD.
+    pub screen_cost_usd: f64,
+}
+
+/// Build the space point for one PB design row: −1 = the low end of each
+/// parameter's range, +1 = the high end.  Rows whose combination is
+/// undeployable (part-time placement with more servers than compute
+/// instances) are repaired by falling back to dedicated placement, the
+/// standard practical fix when a screening row is infeasible.
+pub fn point_for_signs(signs: &[i8]) -> SpacePoint {
+    assert_eq!(signs.len(), ParamId::ALL.len());
+    let mut p = SpacePoint::default_point();
+    for (param, &s) in ParamId::ALL.iter().zip(signs) {
+        let index = if s > 0 { param.value_count() - 1 } else { 0 };
+        param.apply(index, &mut p);
+    }
+    let mut p = p.normalized();
+    if !p.system.valid_for(p.app.nprocs) {
+        p.system.placement = Placement::Dedicated;
+    }
+    p
+}
+
+/// Run the foldover PB screen with the given objective as the response.
+pub fn reduce(objective: Objective, seed: u64) -> Result<Reduction, AcicError> {
+    let mut cost = 0.0f64;
+    let mut runs = 0usize;
+    let mut failure: Option<AcicError> = None;
+
+    let screening: Screening = screen(ParamId::ALL.len(), true, |signs| {
+        if failure.is_some() {
+            return 0.0;
+        }
+        let p = point_for_signs(signs);
+        runs += 1;
+        match run_ior(
+            &p.system.to_io_system(p.app.nprocs),
+            &p.app.to_ior(),
+            seed.wrapping_add(runs as u64),
+        ) {
+            Ok(report) => {
+                cost += report.cost;
+                objective.metric(&report)
+            }
+            Err(e) => {
+                failure = Some(e.into());
+                0.0
+            }
+        }
+    });
+    if let Some(e) = failure {
+        return Err(e);
+    }
+
+    let ranking = screening
+        .importance_order()
+        .into_iter()
+        .map(|j| ParamId::ALL[j])
+        .collect();
+    let effects = screening
+        .effects
+        .iter()
+        .map(|e| (ParamId::ALL[e.param], e.effect, e.rank))
+        .collect();
+    Ok(Reduction { ranking, effects, runs, screen_cost_usd: cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn screen_uses_exactly_32_runs() {
+        let r = reduce(Objective::Performance, 42).unwrap();
+        assert_eq!(r.runs, 32, "foldover PB with N=15, N'=16");
+        assert!(r.screen_cost_usd > 0.0);
+    }
+
+    #[test]
+    fn ranking_is_a_permutation_of_all_params() {
+        let r = reduce(Objective::Performance, 42).unwrap();
+        assert_eq!(r.ranking.len(), 15);
+        let mut sorted = r.ranking.clone();
+        sorted.sort();
+        let mut all = ParamId::ALL.to_vec();
+        all.sort();
+        assert_eq!(sorted, all);
+    }
+
+    #[test]
+    fn data_size_screens_as_highly_important() {
+        // The paper's #1 parameter must land near the top of our ranking
+        // too (the simulated cloud shares the first-order physics).
+        let r = reduce(Objective::Performance, 42).unwrap();
+        let pos = r.ranking.iter().position(|&p| p == ParamId::DataSize).unwrap();
+        assert!(pos < 4, "data size ranked #{} of 15", pos + 1);
+    }
+
+    #[test]
+    fn all_sign_rows_yield_deployable_points() {
+        use acic_pbdesign::{foldover, PbMatrix};
+        let design = foldover(&PbMatrix::new(15));
+        for row in &design.entries {
+            let p = point_for_signs(row);
+            assert!(p.is_valid(), "row {row:?} → invalid point");
+        }
+    }
+
+    #[test]
+    fn cost_and_performance_screens_may_differ_but_both_complete() {
+        let perf = reduce(Objective::Performance, 7).unwrap();
+        let cost = reduce(Objective::Cost, 7).unwrap();
+        assert_eq!(perf.runs, cost.runs);
+        assert_eq!(perf.effects.len(), cost.effects.len());
+    }
+}

@@ -1,0 +1,690 @@
+//! The 15-dimensional exploration space of paper Table 1: six cloud
+//! I/O-system configuration parameters concatenated with nine application
+//! I/O characteristics, their sampled value sets, validity rules, and the
+//! candidate-configuration enumeration.
+
+use acic_cloudsim::cluster::{ClusterSpec, Placement};
+use acic_cloudsim::device::DeviceKind;
+use acic_cloudsim::instance::InstanceType;
+use acic_cloudsim::raid::Raid0;
+use acic_cloudsim::units::{kib, mib};
+use acic_fsim::{FsConfig, FsType, IoApi, IoOp, IoSystem};
+use acic_iobench::IorConfig;
+
+/// One of the 15 Table 1 parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ParamId {
+    /// Disk device {EBS, ephemeral}.
+    DiskDevice,
+    /// File system {NFS, PVFS2}.
+    FileSystem,
+    /// Instance type {cc1.4xlarge, cc2.8xlarge}.
+    InstanceType,
+    /// Number of I/O servers {1, 2, 4}.
+    IoServers,
+    /// I/O-server placement {part-time, dedicated}.
+    Placement,
+    /// PVFS2 stripe size {64 KB, 4 MB}.
+    StripeSize,
+    /// Number of all processes {32, 64, 128, 256}.
+    NumProcs,
+    /// Number of I/O processes {32, 64, 128, 256}.
+    NumIoProcs,
+    /// I/O interface {POSIX, MPI-IO}.
+    IoInterface,
+    /// I/O iteration count {1, 10, 100}.
+    IterationCount,
+    /// Per-process data size per iteration {1..512 MB}.
+    DataSize,
+    /// Request size {256 KB .. 128 MB}.
+    RequestSize,
+    /// Operation type {read, write}.
+    ReadWrite,
+    /// Collective I/O {yes, no}.
+    Collective,
+    /// File sharing {share, individual}.
+    FileSharing,
+}
+
+impl ParamId {
+    /// All 15 parameters in Table 1 order (system block first).
+    pub const ALL: [ParamId; 15] = [
+        ParamId::DiskDevice,
+        ParamId::FileSystem,
+        ParamId::InstanceType,
+        ParamId::IoServers,
+        ParamId::Placement,
+        ParamId::StripeSize,
+        ParamId::NumProcs,
+        ParamId::NumIoProcs,
+        ParamId::IoInterface,
+        ParamId::IterationCount,
+        ParamId::DataSize,
+        ParamId::RequestSize,
+        ParamId::ReadWrite,
+        ParamId::Collective,
+        ParamId::FileSharing,
+    ];
+
+    /// Table 1 display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamId::DiskDevice => "Disk device",
+            ParamId::FileSystem => "File system",
+            ParamId::InstanceType => "Instance type",
+            ParamId::IoServers => "I/O server number",
+            ParamId::Placement => "Placement",
+            ParamId::StripeSize => "Stripe size",
+            ParamId::NumProcs => "Num. of all processes",
+            ParamId::NumIoProcs => "Num. of I/O processes",
+            ParamId::IoInterface => "I/O interface",
+            ParamId::IterationCount => "I/O iteration count",
+            ParamId::DataSize => "Data size",
+            ParamId::RequestSize => "Request size",
+            ParamId::ReadWrite => "Read and/or write",
+            ParamId::Collective => "Collective",
+            ParamId::FileSharing => "File sharing",
+        }
+    }
+
+    /// The paper's published PB importance rank (Table 1 "Rank" column).
+    pub fn paper_rank(self) -> usize {
+        match self {
+            ParamId::DiskDevice => 10,
+            ParamId::FileSystem => 5,
+            ParamId::InstanceType => 12,
+            ParamId::IoServers => 3,
+            ParamId::Placement => 7,
+            ParamId::StripeSize => 6,
+            ParamId::NumProcs => 14,
+            ParamId::NumIoProcs => 4,
+            ParamId::IoInterface => 9,
+            ParamId::IterationCount => 13,
+            ParamId::DataSize => 1,
+            ParamId::RequestSize => 8,
+            ParamId::ReadWrite => 2,
+            ParamId::Collective => 11,
+            ParamId::FileSharing => 15,
+        }
+    }
+
+    /// Is this one of the six system-side parameters?
+    pub fn is_system(self) -> bool {
+        matches!(
+            self,
+            ParamId::DiskDevice
+                | ParamId::FileSystem
+                | ParamId::InstanceType
+                | ParamId::IoServers
+                | ParamId::Placement
+                | ParamId::StripeSize
+        )
+    }
+
+    /// Number of sampled values (Table 1 "Value" column).
+    pub fn value_count(self) -> usize {
+        match self {
+            ParamId::IoServers | ParamId::IterationCount => 3,
+            ParamId::NumProcs | ParamId::NumIoProcs | ParamId::RequestSize => 4,
+            ParamId::DataSize => 6,
+            _ => 2,
+        }
+    }
+
+    /// Apply sampled value `index` (0-based, Table 1 order) to a point.
+    ///
+    /// # Panics
+    /// Panics when `index ≥ value_count()`.
+    pub fn apply(self, index: usize, point: &mut SpacePoint) {
+        assert!(index < self.value_count(), "{self:?} has no value #{index}");
+        match self {
+            ParamId::DiskDevice => {
+                point.system.device = [DeviceKind::Ebs, DeviceKind::Ephemeral][index];
+            }
+            ParamId::FileSystem => {
+                point.system.fs = [FsType::Nfs, FsType::Pvfs2][index];
+            }
+            ParamId::InstanceType => {
+                point.system.instance_type =
+                    [InstanceType::Cc1_4xlarge, InstanceType::Cc2_8xlarge][index];
+            }
+            ParamId::IoServers => point.system.io_servers = [1, 2, 4][index],
+            ParamId::Placement => {
+                point.system.placement = [Placement::PartTime, Placement::Dedicated][index];
+            }
+            ParamId::StripeSize => {
+                point.system.stripe_size = [kib(64.0), mib(4.0)][index];
+            }
+            ParamId::NumProcs => point.app.nprocs = [32, 64, 128, 256][index],
+            ParamId::NumIoProcs => point.app.io_procs = [32, 64, 128, 256][index],
+            ParamId::IoInterface => {
+                point.app.api = [IoApi::Posix, IoApi::MpiIo][index];
+            }
+            ParamId::IterationCount => point.app.iterations = [1, 10, 100][index],
+            ParamId::DataSize => {
+                point.app.data_size =
+                    [mib(1.0), mib(4.0), mib(16.0), mib(32.0), mib(128.0), mib(512.0)][index];
+            }
+            ParamId::RequestSize => {
+                point.app.request_size = [kib(256.0), mib(4.0), mib(16.0), mib(128.0)][index];
+            }
+            ParamId::ReadWrite => point.app.op = [IoOp::Read, IoOp::Write][index],
+            ParamId::Collective => point.app.collective = [false, true][index],
+            ParamId::FileSharing => point.app.shared_file = [true, false][index],
+        }
+    }
+
+    /// Human-readable rendering of value `index`.
+    pub fn value_label(self, index: usize) -> String {
+        let mut p = SpacePoint::default_point();
+        self.apply(index, &mut p);
+        match self {
+            ParamId::DiskDevice => p.system.device.to_string(),
+            ParamId::FileSystem => p.system.fs.to_string(),
+            ParamId::InstanceType => p.system.instance_type.to_string(),
+            ParamId::IoServers => p.system.io_servers.to_string(),
+            ParamId::Placement => p.system.placement.to_string(),
+            ParamId::StripeSize => fmt_size(p.system.stripe_size),
+            ParamId::NumProcs => p.app.nprocs.to_string(),
+            ParamId::NumIoProcs => p.app.io_procs.to_string(),
+            ParamId::IoInterface => p.app.api.to_string(),
+            ParamId::IterationCount => p.app.iterations.to_string(),
+            ParamId::DataSize => fmt_size(p.app.data_size),
+            ParamId::RequestSize => fmt_size(p.app.request_size),
+            ParamId::ReadWrite => p.app.op.to_string(),
+            ParamId::Collective => if p.app.collective { "yes" } else { "no" }.to_string(),
+            ParamId::FileSharing => if p.app.shared_file { "share" } else { "individual" }.to_string(),
+        }
+    }
+}
+
+fn fmt_size(bytes: f64) -> String {
+    if bytes >= mib(1.0) {
+        format!("{}MB", (bytes / mib(1.0)).round() as u64)
+    } else {
+        format!("{}KB", (bytes / kib(1.0)).round() as u64)
+    }
+}
+
+/// The system half of a point: one cloud I/O configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Backing disk device of each I/O server.
+    pub device: DeviceKind,
+    /// File system deployed.
+    pub fs: FsType,
+    /// Instance type of all nodes.
+    pub instance_type: InstanceType,
+    /// Number of I/O servers (1 for NFS).
+    pub io_servers: usize,
+    /// Server placement.
+    pub placement: Placement,
+    /// PVFS2 stripe size in bytes (0 for NFS).
+    pub stripe_size: f64,
+}
+
+impl SystemConfig {
+    /// The paper's baseline: "single dedicated NFS server, mounting two
+    /// EBS disks with a software RAID-0" (§4.2) on the evaluation platform.
+    pub fn baseline() -> Self {
+        Self {
+            device: DeviceKind::Ebs,
+            fs: FsType::Nfs,
+            instance_type: InstanceType::Cc2_8xlarge,
+            io_servers: 1,
+            placement: Placement::Dedicated,
+            stripe_size: 0.0,
+        }
+    }
+
+    /// Canonicalize: NFS forces one server and no stripe size; PVFS2 with
+    /// no stripe set falls back to the 4 MB default (so dimension-wise
+    /// edits that flip the file system stay deployable).
+    pub fn normalized(mut self) -> Self {
+        match self.fs {
+            FsType::Nfs => {
+                self.io_servers = 1;
+                self.stripe_size = 0.0;
+            }
+            FsType::Pvfs2 => {
+                if self.stripe_size <= 0.0 {
+                    self.stripe_size = mib(4.0);
+                }
+            }
+        }
+        self
+    }
+
+    /// All candidate configurations on a fixed instance type — the space
+    /// the evaluation sweeps and the predictor ranks (device × placement ×
+    /// {NFS, PVFS2×servers×stripe}; 28 candidates).
+    pub fn candidates(instance_type: InstanceType) -> Vec<SystemConfig> {
+        let mut out = Vec::new();
+        for device in DeviceKind::TABLE1 {
+            for placement in Placement::ALL {
+                out.push(SystemConfig {
+                    device,
+                    fs: FsType::Nfs,
+                    instance_type,
+                    io_servers: 1,
+                    placement,
+                    stripe_size: 0.0,
+                });
+                for io_servers in [1usize, 2, 4] {
+                    for stripe_size in [kib(64.0), mib(4.0)] {
+                        out.push(SystemConfig {
+                            device,
+                            fs: FsType::Pvfs2,
+                            instance_type,
+                            io_servers,
+                            placement,
+                            stripe_size,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Extended candidate set including the SSD device option the paper
+    /// mentions in §3.1 but leaves out of the Table 1 training space
+    /// (supported here as the §8 "incrementally new I/O configurations"
+    /// extension; see the `ext_ssd_study` binary).
+    pub fn candidates_extended(instance_type: InstanceType) -> Vec<SystemConfig> {
+        let mut out = SystemConfig::candidates(instance_type);
+        for placement in Placement::ALL {
+            out.push(SystemConfig {
+                device: DeviceKind::Ssd,
+                fs: FsType::Nfs,
+                instance_type,
+                io_servers: 1,
+                placement,
+                stripe_size: 0.0,
+            });
+            for io_servers in [1usize, 2, 4] {
+                for stripe_size in [kib(64.0), mib(4.0)] {
+                    out.push(SystemConfig {
+                        device: DeviceKind::Ssd,
+                        fs: FsType::Pvfs2,
+                        instance_type,
+                        io_servers,
+                        placement,
+                        stripe_size,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// RAID-0 width convention: ephemeral servers stripe all local disks;
+    /// EBS servers mount two volumes (matching the paper's baseline);
+    /// SSD-equipped instances carry a pair of SSDs.
+    pub fn raid(&self) -> Raid0 {
+        let width = match self.device {
+            DeviceKind::Ephemeral => self.instance_type.ephemeral_disks(),
+            DeviceKind::Ebs | DeviceKind::Ssd => 2,
+        };
+        Raid0::new(self.device, width)
+    }
+
+    /// Materialize as an executable I/O system for `nprocs` processes.
+    pub fn to_io_system(&self, nprocs: usize) -> IoSystem {
+        let cfg = self.normalized();
+        IoSystem {
+            cluster: ClusterSpec::for_procs(
+                cfg.instance_type,
+                nprocs,
+                cfg.io_servers,
+                cfg.placement,
+                cfg.raid(),
+            ),
+            fs: match cfg.fs {
+                FsType::Nfs => FsConfig::nfs(),
+                FsType::Pvfs2 => FsConfig::pvfs2(cfg.stripe_size),
+            },
+        }
+    }
+
+    /// Is this configuration deployable for a job of `nprocs` processes?
+    /// (Part-time servers need at least that many compute instances.)
+    pub fn valid_for(&self, nprocs: usize) -> bool {
+        self.to_io_system(nprocs).validate().is_ok()
+    }
+
+    /// Parse the [`Self::notation`] format back into a configuration
+    /// (instance type defaults to the evaluation platform, cc2.8xlarge).
+    pub fn parse_notation(s: &str) -> Result<SystemConfig, String> {
+        let parts: Vec<&str> = s.trim().split('.').collect();
+        let device = |d: &str| -> Result<DeviceKind, String> {
+            match d {
+                "eph" => Ok(DeviceKind::Ephemeral),
+                "EBS" | "ebs" => Ok(DeviceKind::Ebs),
+                "ssd" => Ok(DeviceKind::Ssd),
+                other => Err(format!("unknown device {other:?}")),
+            }
+        };
+        let placement = |p: &str| -> Result<Placement, String> {
+            match p {
+                "D" => Ok(Placement::Dedicated),
+                "P" => Ok(Placement::PartTime),
+                other => Err(format!("unknown placement {other:?}")),
+            }
+        };
+        match parts.as_slice() {
+            ["nfs", p, d] => Ok(SystemConfig {
+                device: device(d)?,
+                fs: FsType::Nfs,
+                instance_type: InstanceType::Cc2_8xlarge,
+                io_servers: 1,
+                placement: placement(p)?,
+                stripe_size: 0.0,
+            }),
+            ["pvfs", servers, p, d, stripe] => {
+                let io_servers: usize =
+                    servers.parse().map_err(|_| format!("bad server count {servers:?}"))?;
+                let stripe_size = if let Some(mb) = stripe.strip_suffix("MB") {
+                    mib(mb.parse::<f64>().map_err(|_| format!("bad stripe {stripe:?}"))?)
+                } else if let Some(kb) = stripe.strip_suffix("KB") {
+                    kib(kb.parse::<f64>().map_err(|_| format!("bad stripe {stripe:?}"))?)
+                } else {
+                    return Err(format!("bad stripe {stripe:?} (want e.g. 4MB or 64KB)"));
+                };
+                Ok(SystemConfig {
+                    device: device(d)?,
+                    fs: FsType::Pvfs2,
+                    instance_type: InstanceType::Cc2_8xlarge,
+                    io_servers,
+                    placement: placement(p)?,
+                    stripe_size,
+                })
+            }
+            _ => Err(format!(
+                "unparseable configuration {s:?} (want nfs.<P|D>.<dev> or pvfs.<n>.<P|D>.<dev>.<stripe>)"
+            )),
+        }
+    }
+
+    /// Paper-style notation: `nfs.D.eph`, `pvfs.4.P.eph`, ...
+    pub fn notation(&self) -> String {
+        let dev = self.device.label();
+        match self.fs {
+            FsType::Nfs => format!("nfs.{}.{}", self.placement.letter(), dev),
+            FsType::Pvfs2 => format!(
+                "pvfs.{}.{}.{}.{}",
+                self.io_servers,
+                self.placement.letter(),
+                dev,
+                fmt_size(self.stripe_size)
+            ),
+        }
+    }
+}
+
+/// The application half of a point: the nine I/O characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppPoint {
+    /// Total processes.
+    pub nprocs: usize,
+    /// Processes doing I/O.
+    pub io_procs: usize,
+    /// I/O interface.
+    pub api: IoApi,
+    /// I/O iterations.
+    pub iterations: usize,
+    /// Bytes per I/O process per iteration.
+    pub data_size: f64,
+    /// Bytes per I/O call.
+    pub request_size: f64,
+    /// Operation type.
+    pub op: IoOp,
+    /// Collective I/O.
+    pub collective: bool,
+    /// Shared file vs per-process files.
+    pub shared_file: bool,
+}
+
+impl AppPoint {
+    /// Canonicalize to a valid point: clamp I/O processes to the process
+    /// count and requests to the data size, and drop collective on
+    /// interfaces that cannot do it ("not all sample parameter value
+    /// combinations are valid", §3.3).
+    pub fn normalized(mut self) -> Self {
+        self.io_procs = self.io_procs.clamp(1, self.nprocs.max(1));
+        self.request_size = self.request_size.min(self.data_size);
+        if !self.api.supports_collective() {
+            self.collective = false;
+        }
+        self
+    }
+
+    /// As an IOR benchmark configuration.
+    pub fn to_ior(&self) -> IorConfig {
+        let a = self.normalized();
+        IorConfig {
+            nprocs: a.nprocs,
+            io_procs: a.io_procs,
+            api: a.api,
+            iterations: a.iterations,
+            data_size: a.data_size,
+            request_size: a.request_size,
+            op: a.op,
+            collective: a.collective,
+            shared_file: a.shared_file,
+            // The Table 1 space models the dominant sequential HPC pattern
+            // (§3.2); random access is the iobench extension.
+            access: acic_fsim::Access::Sequential,
+        }
+    }
+}
+
+/// A full 15-D point: system configuration + application characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpacePoint {
+    /// System half.
+    pub system: SystemConfig,
+    /// Application half.
+    pub app: AppPoint,
+}
+
+impl SpacePoint {
+    /// The default point: every parameter at its untrained default — the
+    /// baseline system and a mid-range MPI-IO writer.
+    pub fn default_point() -> Self {
+        Self {
+            system: SystemConfig::baseline(),
+            app: AppPoint {
+                nprocs: 64,
+                io_procs: 64,
+                api: IoApi::MpiIo,
+                iterations: 10,
+                data_size: mib(16.0),
+                request_size: mib(4.0),
+                op: IoOp::Write,
+                collective: false,
+                shared_file: true,
+            },
+        }
+    }
+
+    /// Canonicalize both halves.
+    pub fn normalized(self) -> Self {
+        Self { system: self.system.normalized(), app: self.app.normalized() }
+    }
+
+    /// Is the (normalized) point executable?
+    pub fn is_valid(&self) -> bool {
+        let p = self.normalized();
+        p.system.valid_for(p.app.nprocs) && p.app.to_ior().validate().is_ok()
+    }
+
+    /// Size of the full concatenated sample grid, counting invalid
+    /// combinations too (the paper's §3.3 footnote: 1,769,472).
+    pub fn full_grid_size() -> usize {
+        ParamId::ALL.iter().map(|p| p.value_count()).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_matches_papers_footnote() {
+        assert_eq!(SpacePoint::full_grid_size(), 1_769_472);
+    }
+
+    #[test]
+    fn paper_ranks_are_a_permutation_of_1_to_15() {
+        let mut ranks: Vec<usize> = ParamId::ALL.iter().map(|p| p.paper_rank()).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (1..=15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn six_system_parameters() {
+        assert_eq!(ParamId::ALL.iter().filter(|p| p.is_system()).count(), 6);
+    }
+
+    #[test]
+    fn candidate_space_has_28_configs_per_instance_type() {
+        let c = SystemConfig::candidates(InstanceType::Cc2_8xlarge);
+        assert_eq!(c.len(), 28, "2 dev × 2 place × (1 NFS + 3 servers × 2 stripes)");
+        // All distinct.
+        for i in 0..c.len() {
+            for j in (i + 1)..c.len() {
+                assert_ne!(c[i], c[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn extended_candidates_add_ssd_variants() {
+        let base = SystemConfig::candidates(InstanceType::Cc2_8xlarge);
+        let ext = SystemConfig::candidates_extended(InstanceType::Cc2_8xlarge);
+        assert_eq!(ext.len(), base.len() + 14, "2 placements × (1 NFS + 6 PVFS2)");
+        assert!(ext.iter().any(|c| c.device == DeviceKind::Ssd));
+        assert!(base.iter().all(|c| c.device != DeviceKind::Ssd));
+    }
+
+    #[test]
+    fn baseline_matches_papers_description() {
+        let b = SystemConfig::baseline();
+        assert_eq!(b.fs, FsType::Nfs);
+        assert_eq!(b.device, DeviceKind::Ebs);
+        assert_eq!(b.io_servers, 1);
+        assert_eq!(b.placement, Placement::Dedicated);
+        assert_eq!(b.raid().width, 2, "two EBS disks in RAID-0");
+        assert_eq!(b.notation(), "nfs.D.EBS");
+    }
+
+    #[test]
+    fn nfs_normalization_collapses_server_count_and_stripe() {
+        let mut c = SystemConfig::baseline();
+        c.io_servers = 4;
+        c.stripe_size = mib(4.0);
+        let n = c.normalized();
+        assert_eq!(n.io_servers, 1);
+        assert_eq!(n.stripe_size, 0.0);
+    }
+
+    #[test]
+    fn app_normalization_enforces_validity_rules() {
+        let mut p = SpacePoint::default_point();
+        p.app.nprocs = 32;
+        p.app.io_procs = 256;
+        p.app.request_size = mib(128.0);
+        p.app.data_size = mib(1.0);
+        p.app.api = IoApi::Posix;
+        p.app.collective = true;
+        let a = p.app.normalized();
+        assert_eq!(a.io_procs, 32);
+        assert_eq!(a.request_size, mib(1.0));
+        assert!(!a.collective);
+        assert!(SpacePoint { system: p.system, app: a }.is_valid());
+    }
+
+    #[test]
+    fn apply_covers_every_parameter_and_index() {
+        let mut p = SpacePoint::default_point();
+        for param in ParamId::ALL {
+            for i in 0..param.value_count() {
+                param.apply(i, &mut p);
+                let _ = param.value_label(i);
+            }
+        }
+        // After applying every last index the point is still normalizable.
+        let _ = p.normalized();
+    }
+
+    #[test]
+    #[should_panic(expected = "no value #")]
+    fn apply_out_of_range_panics() {
+        let mut p = SpacePoint::default_point();
+        ParamId::FileSystem.apply(2, &mut p);
+    }
+
+    #[test]
+    fn parttime_at_small_scale_rejects_four_servers() {
+        // 32 procs on cc2 = 2 compute instances; 4 part-time servers can't fit.
+        let mut c = SystemConfig::baseline();
+        c.fs = FsType::Pvfs2;
+        c.stripe_size = mib(4.0);
+        c.io_servers = 4;
+        c.placement = Placement::PartTime;
+        assert!(!c.valid_for(32));
+        assert!(c.valid_for(64));
+        c.placement = Placement::Dedicated;
+        assert!(c.valid_for(32));
+    }
+
+    #[test]
+    fn notation_matches_figure1_labels() {
+        let mut c = SystemConfig::baseline();
+        c.device = DeviceKind::Ephemeral;
+        assert_eq!(c.notation(), "nfs.D.eph");
+        c.fs = FsType::Pvfs2;
+        c.io_servers = 4;
+        c.placement = Placement::PartTime;
+        c.stripe_size = mib(4.0);
+        assert_eq!(c.notation(), "pvfs.4.P.eph.4MB");
+    }
+
+    #[test]
+    fn notation_round_trips_for_all_candidates() {
+        for c in SystemConfig::candidates_extended(InstanceType::Cc2_8xlarge) {
+            let back = SystemConfig::parse_notation(&c.notation())
+                .unwrap_or_else(|e| panic!("{}: {e}", c.notation()));
+            assert_eq!(back, c, "{}", c.notation());
+        }
+    }
+
+    #[test]
+    fn parse_notation_rejects_garbage() {
+        assert!(SystemConfig::parse_notation("lustre.D.eph").is_err());
+        assert!(SystemConfig::parse_notation("nfs.X.eph").is_err());
+        assert!(SystemConfig::parse_notation("pvfs.4.D.eph").is_err(), "missing stripe");
+        assert!(SystemConfig::parse_notation("pvfs.q.D.eph.4MB").is_err());
+        assert!(SystemConfig::parse_notation("pvfs.4.D.eph.4TB").is_err());
+        assert!(SystemConfig::parse_notation("").is_err());
+    }
+
+    #[test]
+    fn to_io_system_sizes_cluster_from_nprocs() {
+        let sys = SystemConfig::baseline().to_io_system(256);
+        assert_eq!(sys.cluster.compute_instances, 16);
+        assert_eq!(sys.cluster.total_instances(), 17, "plus one dedicated server");
+        assert!(sys.validate().is_ok());
+    }
+
+    #[test]
+    fn value_labels_render_table1_entries() {
+        assert_eq!(ParamId::DataSize.value_label(0), "1MB");
+        assert_eq!(ParamId::DataSize.value_label(5), "512MB");
+        assert_eq!(ParamId::RequestSize.value_label(0), "256KB");
+        assert_eq!(ParamId::StripeSize.value_label(0), "64KB");
+        assert_eq!(ParamId::Collective.value_label(1), "yes");
+        assert_eq!(ParamId::FileSharing.value_label(0), "share");
+    }
+}

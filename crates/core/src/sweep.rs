@@ -1,0 +1,183 @@
+//! Exhaustive candidate evaluation — the ground truth the figures place
+//! ACIC's recommendations against ("we exhaustively tested all candidate
+//! configurations, each indicated by a gray dot", paper §5.3).
+
+use crate::error::AcicError;
+use crate::objective::Objective;
+use crate::space::SystemConfig;
+use acic_cloudsim::instance::InstanceType;
+use acic_cloudsim::pricing::CostModel;
+use acic_fsim::{Executor, FsParams, Workload};
+use rayon::prelude::*;
+
+/// Measured outcome of one candidate configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepEntry {
+    /// The configuration.
+    pub config: SystemConfig,
+    /// End-to-end execution time, seconds.
+    pub secs: f64,
+    /// Monetary cost by eq. (1), USD.
+    pub cost: f64,
+}
+
+impl SweepEntry {
+    /// The metric for an objective (lower is better).
+    pub fn metric(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::Performance => self.secs,
+            Objective::Cost => self.cost,
+        }
+    }
+}
+
+/// Run `workload` on one configuration with the default calibration.
+pub fn run_workload_on(
+    config: &SystemConfig,
+    workload: &Workload,
+    seed: u64,
+) -> Result<SweepEntry, AcicError> {
+    run_workload_with(config, workload, seed, &FsParams::default())
+}
+
+/// Run `workload` on one configuration with explicit model parameters
+/// (used by the mechanism-ablation studies).
+pub fn run_workload_with(
+    config: &SystemConfig,
+    workload: &Workload,
+    seed: u64,
+    params: &FsParams,
+) -> Result<SweepEntry, AcicError> {
+    let system = config.to_io_system(workload.nprocs);
+    let outcome = Executor::new(system).with_params(*params).run(workload, seed)?;
+    let cost = CostModel::default().linear_cost(
+        outcome.total_secs,
+        system.cluster.total_instances(),
+        system.cluster.instance_type,
+    );
+    Ok(SweepEntry { config: *config, secs: outcome.total_secs, cost })
+}
+
+/// The full measured spectrum of one application run over every deployable
+/// candidate configuration.
+#[derive(Debug, Clone)]
+pub struct Spectrum {
+    /// One entry per candidate, in candidate-enumeration order.
+    pub entries: Vec<SweepEntry>,
+}
+
+impl Spectrum {
+    /// Exhaustively measure `workload` on every valid candidate (in
+    /// parallel; each candidate gets a deterministic derived seed).
+    pub fn measure(
+        workload: &Workload,
+        instance_type: InstanceType,
+        seed: u64,
+    ) -> Result<Spectrum, AcicError> {
+        let candidates: Vec<SystemConfig> = SystemConfig::candidates(instance_type)
+            .into_iter()
+            .filter(|c| c.valid_for(workload.nprocs))
+            .collect();
+        Self::measure_candidates(&candidates, workload, seed, &FsParams::default())
+    }
+
+    /// Measure an explicit candidate list under explicit model parameters
+    /// (ablations, extended candidate spaces).
+    pub fn measure_candidates(
+        candidates: &[SystemConfig],
+        workload: &Workload,
+        seed: u64,
+        params: &FsParams,
+    ) -> Result<Spectrum, AcicError> {
+        let valid: Vec<&SystemConfig> =
+            candidates.iter().filter(|c| c.valid_for(workload.nprocs)).collect();
+        let entries: Result<Vec<SweepEntry>, AcicError> = valid
+            .par_iter()
+            .enumerate()
+            .map(|(i, c)| run_workload_with(c, workload, seed.wrapping_add(i as u64 * 7919), params))
+            .collect();
+        Ok(Spectrum { entries: entries? })
+    }
+
+    /// Also measure the baseline configuration (it is part of the candidate
+    /// set, so this is a lookup).
+    pub fn baseline(&self) -> Option<&SweepEntry> {
+        self.find(&SystemConfig::baseline())
+    }
+
+    /// Find a configuration's measured entry.
+    pub fn find(&self, config: &SystemConfig) -> Option<&SweepEntry> {
+        let c = config.normalized();
+        self.entries.iter().find(|e| e.config.normalized() == c)
+    }
+
+    /// The measured optimum for an objective.
+    pub fn best(&self, objective: Objective) -> &SweepEntry {
+        self.entries
+            .iter()
+            .min_by(|a, b| a.metric(objective).total_cmp(&b.metric(objective)))
+            .expect("spectrum is never empty")
+    }
+
+    /// The median-performing candidate's metric (the solid line in
+    /// Figures 5/6).
+    pub fn median_metric(&self, objective: Objective) -> f64 {
+        let mut xs: Vec<f64> = self.entries.iter().map(|e| e.metric(objective)).collect();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    }
+
+    /// Worst candidate's metric.
+    pub fn worst_metric(&self, objective: Objective) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.metric(objective))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Spread of the spectrum: worst ÷ best (the paper reports 1.4×–10.5×
+    /// in time and 2.2×–10.5× in cost).
+    pub fn spread(&self, objective: Objective) -> f64 {
+        self.worst_metric(objective) / self.best(objective).metric(objective)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_apps::{AppModel, MadBench2};
+
+    #[test]
+    fn spectrum_covers_all_valid_candidates_and_has_spread() {
+        let app = MadBench2::paper(64);
+        let s = Spectrum::measure(&app.workload(), InstanceType::Cc2_8xlarge, 1).unwrap();
+        assert_eq!(s.entries.len(), 28, "64 procs: every candidate deploys");
+        assert!(s.baseline().is_some());
+        let spread = s.spread(Objective::Performance);
+        assert!(spread > 1.2, "config choice must matter, spread = {spread:.2}");
+        assert!(
+            s.best(Objective::Performance).secs <= s.median_metric(Objective::Performance)
+        );
+    }
+
+    #[test]
+    fn small_scale_drops_undeployable_candidates() {
+        let app = MadBench2::paper(32); // 2 compute instances on cc2
+        let s = Spectrum::measure(&app.workload(), InstanceType::Cc2_8xlarge, 1).unwrap();
+        assert!(s.entries.len() < 28, "4 part-time servers cannot deploy on 2 nodes");
+        for e in &s.entries {
+            assert!(e.config.valid_for(32));
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let app = MadBench2::paper(64);
+        let w = app.workload();
+        let a = Spectrum::measure(&w, InstanceType::Cc2_8xlarge, 5).unwrap();
+        let b = Spectrum::measure(&w, InstanceType::Cc2_8xlarge, 5).unwrap();
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Top-k verification runs (paper §5.3): "users may have 'residual
+//! resource' left from their hourly cloud instance rentals and can
+//! piggy-back verification runs at no extra cost.  ... the application
+//! user has a better opportunity to identify an optimal or near-optimal
+//! solution, at the cost of more benchmarking runs trying out the top k
+//! configurations."
+//!
+//! [`verify_top_k`] takes a recommendation list, replays the application's
+//! I/O characteristics (as an IOR probe) on each of the top k candidates,
+//! and re-ranks them by *measured* metric, also reporting how much of the
+//! probing fit into already-paid residual instance-hours.
+
+use crate::error::AcicError;
+use crate::objective::Objective;
+use crate::space::{AppPoint, SystemConfig};
+use acic_cloudsim::pricing::CostModel;
+use acic_cloudsim::units::HOUR;
+use acic_iobench::run_ior;
+
+/// One verified candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifiedCandidate {
+    /// The configuration probed.
+    pub config: SystemConfig,
+    /// The predictor's improvement estimate that put it in the top k.
+    pub predicted_improvement: f64,
+    /// Measured metric of the probe run (lower is better).
+    pub measured_metric: f64,
+    /// Wall-clock of the probe run, seconds.
+    pub probe_secs: f64,
+}
+
+/// Result of a verification campaign.
+#[derive(Debug, Clone)]
+pub struct Verification {
+    /// Candidates re-ranked by measured metric (best first).
+    pub ranked: Vec<VerifiedCandidate>,
+    /// Total probe wall-clock, seconds.
+    pub total_probe_secs: f64,
+    /// Probe cost if billed stand-alone (eq. (1)), USD.
+    pub standalone_cost: f64,
+    /// How many probe seconds fit into the residual of an already-paid
+    /// instance-hour after an application run of `app_run_secs`.
+    pub piggybacked_secs: f64,
+}
+
+impl Verification {
+    /// The measured winner.
+    pub fn best(&self) -> &VerifiedCandidate {
+        &self.ranked[0]
+    }
+
+    /// Fraction of the probing that was free (rode residual hours).
+    pub fn free_fraction(&self) -> f64 {
+        if self.total_probe_secs > 0.0 {
+            self.piggybacked_secs / self.total_probe_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Probe the top-k `recommendations` with IOR runs of `app`'s
+/// characteristics and re-rank by measurement.  `app_run_secs` is the
+/// duration of the application run whose residual instance-hour the
+/// probes can ride (pass 0.0 for stand-alone verification).
+pub fn verify_top_k(
+    recommendations: &[(SystemConfig, f64)],
+    app: &AppPoint,
+    objective: Objective,
+    k: usize,
+    app_run_secs: f64,
+    seed: u64,
+) -> Result<Verification, AcicError> {
+    if recommendations.is_empty() {
+        return Err(AcicError::Invalid("no recommendations to verify".into()));
+    }
+    let app = app.normalized();
+    let mut ranked = Vec::new();
+    let mut total = 0.0f64;
+    let mut cost = 0.0f64;
+    for (i, (config, predicted)) in recommendations.iter().take(k.max(1)).enumerate() {
+        let report = run_ior(
+            &config.to_io_system(app.nprocs),
+            &app.to_ior(),
+            seed.wrapping_add(i as u64),
+        )?;
+        total += report.secs();
+        cost += report.cost;
+        ranked.push(VerifiedCandidate {
+            config: *config,
+            predicted_improvement: *predicted,
+            measured_metric: objective.metric(&report),
+            probe_secs: report.secs(),
+        });
+    }
+    ranked.sort_by(|a, b| a.measured_metric.total_cmp(&b.measured_metric));
+
+    // Residual-hour accounting: probes consume the remainder of the paid
+    // hour first; only the overflow would be billed.
+    let residual = if app_run_secs > 0.0 {
+        CostModel::default().residual_secs(app_run_secs)
+    } else {
+        0.0
+    };
+    let piggybacked = total.min(residual);
+
+    Ok(Verification {
+        ranked,
+        total_probe_secs: total,
+        standalone_cost: cost,
+        piggybacked_secs: piggybacked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::Predictor;
+    use crate::space::SpacePoint;
+    use crate::training::Trainer;
+    use acic_cloudsim::instance::InstanceType;
+    use acic_cloudsim::units::mib;
+
+    fn recs() -> (Vec<(SystemConfig, f64)>, AppPoint) {
+        let db = Trainer::with_paper_ranking(5).collect(4).unwrap();
+        let p = Predictor::train(&db, 1).unwrap();
+        let mut app = SpacePoint::default_point().app;
+        app.data_size = mib(64.0);
+        (p.rank_candidates(&app, Objective::Performance, InstanceType::Cc2_8xlarge), app)
+    }
+
+    #[test]
+    fn verification_reranks_by_measurement() {
+        let (recs, app) = recs();
+        let v = verify_top_k(&recs, &app, Objective::Performance, 5, 0.0, 3).unwrap();
+        assert_eq!(v.ranked.len(), 5);
+        for w in v.ranked.windows(2) {
+            assert!(w[0].measured_metric <= w[1].measured_metric);
+        }
+        assert_eq!(v.best().measured_metric, v.ranked[0].measured_metric);
+        assert!(v.total_probe_secs > 0.0);
+        assert!(v.standalone_cost > 0.0);
+        assert_eq!(v.piggybacked_secs, 0.0, "no app run to ride");
+    }
+
+    #[test]
+    fn residual_hours_make_probing_free() {
+        let (recs, app) = recs();
+        // A 10-minute app run leaves 50 minutes of paid residual time.
+        let v = verify_top_k(&recs, &app, Objective::Performance, 3, 600.0, 3).unwrap();
+        assert!(v.piggybacked_secs > 0.0);
+        assert!(v.free_fraction() > 0.0 && v.free_fraction() <= 1.0);
+        // Short probes fit entirely in the residual window.
+        if v.total_probe_secs < HOUR - 600.0 {
+            assert!((v.free_fraction() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_is_clamped_and_empty_is_an_error() {
+        let (recs, app) = recs();
+        let v = verify_top_k(&recs, &app, Objective::Cost, 0, 0.0, 1).unwrap();
+        assert_eq!(v.ranked.len(), 1, "k=0 clamps to 1");
+        assert!(verify_top_k(&[], &app, Objective::Cost, 3, 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn measured_winner_is_at_least_as_good_as_top1_prediction() {
+        let (recs, app) = recs();
+        let v1 = verify_top_k(&recs, &app, Objective::Performance, 1, 0.0, 9).unwrap();
+        let v5 = verify_top_k(&recs, &app, Objective::Performance, 5, 0.0, 9).unwrap();
+        assert!(v5.best().measured_metric <= v1.best().measured_metric + 1e-9);
+    }
+}

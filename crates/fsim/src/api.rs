@@ -1,0 +1,106 @@
+//! I/O interfaces: POSIX, MPI-IO, and the high-level libraries layered on
+//! MPI-IO (HDF5, netCDF) — the "I/O interface" dimension of Table 1.
+
+/// The I/O interface an application (or IOR run) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IoApi {
+    /// Direct POSIX `read`/`write` calls.
+    Posix,
+    /// MPI-IO (ROMIO): enables collective I/O.
+    MpiIo,
+    /// HDF5 over MPI-IO: adds per-dataset metadata traffic.
+    Hdf5,
+    /// Parallel netCDF over MPI-IO: lighter metadata than HDF5.
+    NetCdf,
+}
+
+impl IoApi {
+    /// The two interfaces sampled in the Table 1 training space.
+    pub const TABLE1: [IoApi; 2] = [IoApi::Posix, IoApi::MpiIo];
+
+    /// Client-side software overhead added to every I/O call, seconds.
+    /// POSIX is a thin syscall; MPI-IO adds datatype/offset processing; the
+    /// high-level libraries add hyperslab bookkeeping per call.
+    pub fn client_call_overhead(self) -> f64 {
+        match self {
+            IoApi::Posix => 20e-6,
+            IoApi::MpiIo => 60e-6,
+            IoApi::Hdf5 => 110e-6,
+            IoApi::NetCdf => 90e-6,
+        }
+    }
+
+    /// Metadata operations issued per I/O phase beyond plain file
+    /// open/close: HDF5 updates superblock, object headers and chunk
+    /// B-trees on every checkpoint; netCDF keeps a flat header.
+    pub fn phase_meta_ops(self) -> f64 {
+        match self {
+            IoApi::Posix => 0.0,
+            IoApi::MpiIo => 4.0,
+            IoApi::Hdf5 => 1200.0,
+            IoApi::NetCdf => 60.0,
+        }
+    }
+
+    /// Fractional byte inflation from file-format framing (HDF5 object
+    /// headers, alignment padding).
+    pub fn byte_inflation(self) -> f64 {
+        match self {
+            IoApi::Posix | IoApi::MpiIo => 0.0,
+            IoApi::Hdf5 => 0.02,
+            IoApi::NetCdf => 0.01,
+        }
+    }
+
+    /// Whether collective I/O is available on this interface.
+    pub fn supports_collective(self) -> bool {
+        !matches!(self, IoApi::Posix)
+    }
+
+    /// Short label for configuration strings and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoApi::Posix => "POSIX",
+            IoApi::MpiIo => "MPI-IO",
+            IoApi::Hdf5 => "HDF5",
+            IoApi::NetCdf => "netCDF",
+        }
+    }
+}
+
+impl std::fmt::Display for IoApi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn posix_is_the_cheapest_interface() {
+        for api in [IoApi::MpiIo, IoApi::Hdf5, IoApi::NetCdf] {
+            assert!(api.client_call_overhead() > IoApi::Posix.client_call_overhead());
+        }
+    }
+
+    #[test]
+    fn hdf5_is_metadata_heavy() {
+        assert!(IoApi::Hdf5.phase_meta_ops() > 100.0 * IoApi::MpiIo.phase_meta_ops());
+        assert!(IoApi::Hdf5.byte_inflation() > 0.0);
+    }
+
+    #[test]
+    fn posix_cannot_do_collective() {
+        assert!(!IoApi::Posix.supports_collective());
+        assert!(IoApi::MpiIo.supports_collective());
+        assert!(IoApi::Hdf5.supports_collective());
+    }
+
+    #[test]
+    fn labels_match_paper_terms() {
+        assert_eq!(IoApi::Posix.label(), "POSIX");
+        assert_eq!(IoApi::MpiIo.to_string(), "MPI-IO");
+    }
+}

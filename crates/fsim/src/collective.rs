@@ -1,0 +1,175 @@
+//! Two-phase (collective) I/O.
+//!
+//! ROMIO-style collective buffering: one aggregator per compute node.  In
+//! the *shuffle* phase the I/O processes exchange data with the aggregators
+//! over the network; in the *I/O* phase the aggregators issue large,
+//! contiguous requests to the file system.  This converts many small
+//! uncoordinated requests into few large ones — and, under part-time server
+//! placement, co-locates the writers with the servers, producing the
+//! locality effect of paper §5.6 observation 1.
+
+use crate::params::FsParams;
+use crate::phase::IoPhase;
+use acic_cloudsim::cluster::Cluster;
+use acic_cloudsim::engine::Simulation;
+use acic_cloudsim::flow::FlowSpec;
+
+/// Result of applying the two-phase transform.
+#[derive(Debug)]
+pub(crate) struct CollectivePlan {
+    /// Per aggregator node: `(node_index, bytes)` the node pushes to (or
+    /// pulls from) the file system.
+    pub fs_bytes_per_node: Vec<(usize, f64)>,
+    /// Effective request size the file system sees (the collective buffer).
+    pub fs_request_size: f64,
+    /// Serial synchronization overhead of the collective rounds, seconds.
+    pub sync_overhead: f64,
+}
+
+/// Add the shuffle flows for a collective phase to `sim` and return the
+/// transformed file-system side.
+///
+/// `total_bytes` is the (inflation-adjusted) volume of the phase and
+/// `node_bytes` how much of it originates on (for writes) or is destined to
+/// (for reads) each compute node.  Data is assumed uniformly distributed
+/// over aggregators, so a fraction `(A-1)/A` of each node's bytes crosses
+/// the network; the rest moves over the local bus.
+pub(crate) fn plan_collective(
+    sim: &mut Simulation,
+    cluster: &Cluster,
+    params: &FsParams,
+    phase: &IoPhase,
+    node_bytes: &[(usize, f64)],
+) -> CollectivePlan {
+    let aggregators: Vec<usize> = (0..cluster.spec.compute_instances).collect();
+    let a = aggregators.len() as f64;
+    let total: f64 = node_bytes.iter().map(|&(_, b)| b).sum();
+
+    // Shuffle: every source node exchanges with every aggregator.
+    let mut path = Vec::with_capacity(2);
+    for &(src, bytes) in node_bytes {
+        let per_agg = bytes / a;
+        if per_agg <= 0.0 {
+            continue;
+        }
+        for &agg in &aggregators {
+            path.clear();
+            cluster.net_path(src, agg, &mut path);
+            sim.add_flow(
+                FlowSpec::new(per_agg)
+                    .through_all(path.iter().copied())
+                    .labeled(format!("shuffle n{src}->a{agg}")),
+            );
+        }
+    }
+
+    // Aggregators then move equal shares with collective-buffer requests.
+    let per_agg = total / a;
+    let fs_bytes_per_node: Vec<(usize, f64)> = aggregators
+        .iter()
+        .map(|&n| (n, per_agg))
+        .filter(|&(_, b)| b > 0.0)
+        .collect();
+
+    // Each buffer exchange ends with a synchronization across all I/O
+    // processes; rounds = buffers needed by the busiest aggregator.
+    let rounds = (per_agg / params.collective_buffer).ceil().max(1.0);
+    let log_p = (phase.io_procs.max(2) as f64).log2();
+    let sync_overhead = rounds * log_p * params.collective_sync_cost;
+
+    CollectivePlan {
+        fs_bytes_per_node,
+        fs_request_size: params.collective_buffer.max(phase.effective_request_size()),
+        sync_overhead,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::IoApi;
+    use crate::phase::IoOp;
+    use acic_cloudsim::cluster::{ClusterSpec, Placement};
+    use acic_cloudsim::device::DeviceKind;
+    use acic_cloudsim::instance::InstanceType;
+    use acic_cloudsim::raid::Raid0;
+    use acic_cloudsim::rng::SplitMix64;
+    use acic_cloudsim::units::mib;
+
+    fn cluster(sim: &mut Simulation, compute: usize) -> Cluster {
+        let spec = ClusterSpec {
+            instance_type: InstanceType::Cc2_8xlarge,
+            compute_instances: compute,
+            io_servers: 1,
+            placement: Placement::Dedicated,
+            storage: Raid0::new(DeviceKind::Ephemeral, 1),
+        };
+        let mut rng = SplitMix64::new(0);
+        Cluster::build(spec, sim, &mut rng).unwrap()
+    }
+
+    fn phase() -> IoPhase {
+        IoPhase {
+            io_procs: 64,
+            access: crate::phase::Access::Sequential,
+            per_proc_bytes: mib(64.0),
+            request_size: mib(1.0),
+            op: IoOp::Write,
+            collective: true,
+            shared_file: true,
+            api: IoApi::MpiIo,
+        }
+    }
+
+    #[test]
+    fn aggregators_split_total_evenly() {
+        let mut sim = Simulation::new();
+        let c = cluster(&mut sim, 4);
+        let node_bytes = vec![(0, mib(1024.0)), (1, mib(1024.0)), (2, mib(1024.0)), (3, mib(1024.0))];
+        let plan = plan_collective(&mut sim, &c, &FsParams::default(), &phase(), &node_bytes);
+        assert_eq!(plan.fs_bytes_per_node.len(), 4);
+        for &(_, b) in &plan.fs_bytes_per_node {
+            assert!((b - mib(1024.0)).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_adds_node_squared_flows() {
+        let mut sim = Simulation::new();
+        let c = cluster(&mut sim, 4);
+        let node_bytes: Vec<(usize, f64)> = (0..4).map(|n| (n, mib(100.0))).collect();
+        let before = sim.flow_count();
+        plan_collective(&mut sim, &c, &FsParams::default(), &phase(), &node_bytes);
+        assert_eq!(sim.flow_count() - before, 16, "4 sources × 4 aggregators");
+    }
+
+    #[test]
+    fn request_size_becomes_collective_buffer() {
+        let mut sim = Simulation::new();
+        let c = cluster(&mut sim, 2);
+        let p = FsParams::default();
+        let plan = plan_collective(&mut sim, &c, &p, &phase(), &[(0, mib(10.0)), (1, mib(10.0))]);
+        assert_eq!(plan.fs_request_size, p.collective_buffer);
+    }
+
+    #[test]
+    fn sync_overhead_scales_with_rounds_and_procs() {
+        let mut sim = Simulation::new();
+        let c = cluster(&mut sim, 2);
+        let p = FsParams::default();
+        let small = plan_collective(&mut sim, &c, &p, &phase(), &[(0, mib(8.0)), (1, mib(8.0))]);
+        let big = plan_collective(&mut sim, &c, &p, &phase(), &[(0, mib(800.0)), (1, mib(800.0))]);
+        assert!(big.sync_overhead > small.sync_overhead);
+    }
+
+    #[test]
+    fn single_node_shuffle_is_loopback_only() {
+        let mut sim = Simulation::new();
+        let c = cluster(&mut sim, 1);
+        let before = sim.flow_count();
+        let plan =
+            plan_collective(&mut sim, &c, &FsParams::default(), &phase(), &[(0, mib(64.0))]);
+        assert_eq!(sim.flow_count() - before, 1, "one bus flow");
+        assert_eq!(plan.fs_bytes_per_node, vec![(0, mib(64.0))]);
+    }
+}

@@ -1,0 +1,161 @@
+//! File-system selection and the combined I/O-system configuration.
+
+use acic_cloudsim::cluster::ClusterSpec;
+use acic_cloudsim::error::CloudSimError;
+use acic_cloudsim::units::{kib, mib};
+
+/// File-system type (Table 1 "File system").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FsType {
+    /// Network File System: one server, client caching, close-to-open
+    /// consistency.
+    Nfs,
+    /// PVFS2: parallel file system with round-robin striping, no client
+    /// caching.
+    Pvfs2,
+}
+
+impl FsType {
+    /// Both file systems, Table 1 order.
+    pub const ALL: [FsType; 2] = [FsType::Nfs, FsType::Pvfs2];
+
+    /// Label as used in the paper's configuration strings.
+    pub fn label(self) -> &'static str {
+        match self {
+            FsType::Nfs => "nfs",
+            FsType::Pvfs2 => "pvfs2",
+        }
+    }
+}
+
+impl std::fmt::Display for FsType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// File-system level configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FsConfig {
+    /// Which file system is deployed.
+    pub fs: FsType,
+    /// PVFS2 stripe size in bytes (Table 1 samples 64 KB and 4 MB).
+    /// Ignored for NFS ("NFS does not have stripe size", §3.3).
+    pub stripe_size: f64,
+}
+
+impl FsConfig {
+    /// NFS (stripe size is meaningless and normalized to 0).
+    pub fn nfs() -> Self {
+        Self { fs: FsType::Nfs, stripe_size: 0.0 }
+    }
+
+    /// PVFS2 with the given stripe size in bytes.
+    pub fn pvfs2(stripe_size: f64) -> Self {
+        Self { fs: FsType::Pvfs2, stripe_size }
+    }
+
+    /// The two Table 1 stripe-size samples.
+    pub fn stripe_64kib() -> f64 {
+        kib(64.0)
+    }
+
+    /// The two Table 1 stripe-size samples.
+    pub fn stripe_4mib() -> f64 {
+        mib(4.0)
+    }
+}
+
+/// A complete I/O system: the cluster layout plus the file system on top.
+/// This is what one point of the *system half* of the ACIC exploration
+/// space materializes to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoSystem {
+    /// Instance/placement/device layout.
+    pub cluster: ClusterSpec,
+    /// File system deployed on the I/O servers.
+    pub fs: FsConfig,
+}
+
+impl IoSystem {
+    /// Validate the combination (on top of the cluster's own validation):
+    /// NFS is a single-server file system, and PVFS2 needs a positive
+    /// stripe size.
+    pub fn validate(&self) -> Result<(), CloudSimError> {
+        self.cluster.validate()?;
+        match self.fs.fs {
+            FsType::Nfs => {
+                if self.cluster.io_servers != 1 {
+                    return Err(CloudSimError::InvalidCluster(format!(
+                        "NFS supports exactly one I/O server, got {}",
+                        self.cluster.io_servers
+                    )));
+                }
+            }
+            FsType::Pvfs2 => {
+                if !(self.fs.stripe_size.is_finite() && self.fs.stripe_size > 0.0) {
+                    return Err(CloudSimError::InvalidCluster(format!(
+                        "PVFS2 stripe size must be positive, got {}",
+                        self.fs.stripe_size
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_cloudsim::cluster::Placement;
+    use acic_cloudsim::device::DeviceKind;
+    use acic_cloudsim::instance::InstanceType;
+    use acic_cloudsim::raid::Raid0;
+
+    fn cluster(io_servers: usize) -> ClusterSpec {
+        ClusterSpec {
+            instance_type: InstanceType::Cc2_8xlarge,
+            compute_instances: 4,
+            io_servers,
+            placement: Placement::Dedicated,
+            storage: Raid0::new(DeviceKind::Ephemeral, 2),
+        }
+    }
+
+    #[test]
+    fn nfs_requires_single_server() {
+        let sys = IoSystem { cluster: cluster(2), fs: FsConfig::nfs() };
+        assert!(sys.validate().is_err());
+        let sys = IoSystem { cluster: cluster(1), fs: FsConfig::nfs() };
+        assert!(sys.validate().is_ok());
+    }
+
+    #[test]
+    fn pvfs_requires_positive_stripe() {
+        let sys = IoSystem { cluster: cluster(4), fs: FsConfig::pvfs2(0.0) };
+        assert!(sys.validate().is_err());
+        let sys = IoSystem { cluster: cluster(4), fs: FsConfig::pvfs2(FsConfig::stripe_4mib()) };
+        assert!(sys.validate().is_ok());
+    }
+
+    #[test]
+    fn cluster_errors_propagate() {
+        let mut c = cluster(1);
+        c.compute_instances = 0;
+        let sys = IoSystem { cluster: c, fs: FsConfig::nfs() };
+        assert!(sys.validate().is_err());
+    }
+
+    #[test]
+    fn stripe_samples_match_table1() {
+        assert_eq!(FsConfig::stripe_64kib(), 65536.0);
+        assert_eq!(FsConfig::stripe_4mib(), 4.0 * 1024.0 * 1024.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FsType::Nfs.to_string(), "nfs");
+        assert_eq!(FsType::Pvfs2.to_string(), "pvfs2");
+    }
+}

@@ -1,0 +1,324 @@
+//! The workload executor: walks a [`Workload`] phase by phase, materializes
+//! each I/O burst as flows on a fresh simulation of the configured cluster,
+//! and accumulates end-to-end time.
+
+use crate::collective::plan_collective;
+use crate::config::{FsType, IoSystem};
+use crate::fault::FaultPlan;
+use crate::nfs::{plan_nfs_phase, NfsState};
+use crate::outcome::RunOutcome;
+use crate::params::FsParams;
+use crate::phase::{Phase, Workload};
+use crate::plan::io_procs_per_node;
+use crate::pvfs::plan_pvfs_phase;
+use acic_cloudsim::cluster::{Cluster, Placement};
+use acic_cloudsim::network::FabricSpec;
+use acic_cloudsim::engine::Simulation;
+use acic_cloudsim::error::CloudSimError;
+use acic_cloudsim::rng::SplitMix64;
+use acic_cloudsim::units::GIB;
+
+/// Executes workloads on one I/O system configuration.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    /// The I/O system under test.
+    pub system: IoSystem,
+    /// Model calibration constants.
+    pub params: FsParams,
+    /// Failure injection (off by default).
+    pub faults: FaultPlan,
+    /// Network fabric layout (flat full-bisection by default).
+    pub fabric: FabricSpec,
+}
+
+impl Executor {
+    /// Executor with default calibration and no fault injection.
+    pub fn new(system: IoSystem) -> Self {
+        Self {
+            system,
+            params: FsParams::default(),
+            faults: FaultPlan::NONE,
+            fabric: FabricSpec::FLAT,
+        }
+    }
+
+    /// Override the calibration constants (ablation benches).
+    pub fn with_params(mut self, params: FsParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Enable failure injection.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Run on a tiered (possibly oversubscribed) network fabric.
+    pub fn with_fabric(mut self, fabric: FabricSpec) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Run `workload` with the given seed; deterministic per
+    /// `(system, workload, seed)`.
+    pub fn run(&self, workload: &Workload, seed: u64) -> Result<RunOutcome, CloudSimError> {
+        self.system.validate()?;
+        let spec = self.system.cluster;
+        let root_rng = SplitMix64::new(seed);
+
+        // NFS server page cache: a fraction of the server instance memory;
+        // drain bandwidth is the nominal (jitter-free) array write speed.
+        // Client page caches absorb plain POSIX writes (kernel dirty-ratio
+        // bound, aggregated over the compute nodes) and write back at NIC
+        // speed, further throttled by the server array.
+        let nominal = spec.storage.nominal_profile();
+        let mem = spec.instance_type.memory_gib() * GIB;
+        let mut nfs_state = NfsState::new(
+            mem * self.params.nfs_cache_fraction,
+            nominal.seq_write_bps,
+        )
+        .with_client_cache(
+            mem * self.params.nfs_client_cache_fraction * spec.compute_instances as f64,
+            spec.instance_type.nic_bps().min(nominal.seq_write_bps),
+        );
+
+        let parttime = spec.placement == Placement::PartTime;
+        let mut first_open = true;
+        let mut total = 0.0f64;
+        let mut io_secs = 0.0f64;
+        let mut compute_secs = 0.0f64;
+        let mut phase_secs = Vec::with_capacity(workload.phases.len());
+        let mut faults = 0usize;
+        let mut fault_rng = root_rng.derive(u64::MAX);
+
+        for (idx, phase) in workload.phases.iter().enumerate() {
+            let dt = match phase {
+                Phase::Compute { secs } => {
+                    let dt = if parttime {
+                        secs * self.params.parttime_compute_penalty
+                    } else {
+                        *secs
+                    };
+                    if self.system.fs.fs == FsType::Nfs {
+                        nfs_state.drain(dt);
+                    }
+                    compute_secs += dt;
+                    dt
+                }
+                Phase::Io(io) => {
+                    let mut rng = root_rng.derive(idx as u64);
+                    let mut sim = Simulation::new();
+                    let cluster = Cluster::build_with_fabric(spec, self.fabric, &mut sim, &mut rng)?;
+
+                    // Interface-level byte inflation (file-format framing).
+                    let inflate = 1.0 + io.api.byte_inflation();
+                    let node_bytes: Vec<(usize, f64)> =
+                        io_procs_per_node(&cluster, io.io_procs, workload.nprocs)
+                            .into_iter()
+                            .map(|(n, procs)| (n, procs as f64 * io.per_proc_bytes * inflate))
+                            .collect();
+
+                    // Two-phase collective I/O rewrites who talks to the FS
+                    // and with what request size.
+                    let (fs_nodes, fs_request, sync) = if io.effective_collective() {
+                        let plan =
+                            plan_collective(&mut sim, &cluster, &self.params, io, &node_bytes);
+                        (plan.fs_bytes_per_node, plan.fs_request_size, plan.sync_overhead)
+                    } else {
+                        (node_bytes, io.effective_request_size(), 0.0)
+                    };
+
+                    let serial = match self.system.fs.fs {
+                        FsType::Nfs => plan_nfs_phase(
+                            &mut sim,
+                            &cluster,
+                            &self.params,
+                            io,
+                            &mut nfs_state,
+                            &fs_nodes,
+                            fs_request,
+                            first_open,
+                        ),
+                        FsType::Pvfs2 => plan_pvfs_phase(
+                            &mut sim,
+                            &cluster,
+                            &self.params,
+                            io,
+                            self.system.fs.stripe_size,
+                            &fs_nodes,
+                            fs_request,
+                            first_open,
+                        ),
+                    };
+                    first_open = false;
+
+                    let makespan = sim.run()?.makespan();
+                    let fault_penalty = self.faults.sample(&mut fault_rng);
+                    if fault_penalty > 0.0 {
+                        faults += 1;
+                    }
+                    let dt = makespan + serial + sync + fault_penalty;
+                    io_secs += dt;
+                    dt
+                }
+            };
+            total += dt;
+            phase_secs.push(dt);
+        }
+
+        Ok(RunOutcome { total_secs: total, io_secs, compute_secs, phase_secs, faults })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::IoApi;
+    use crate::config::FsConfig;
+    use crate::phase::{IoOp, IoPhase};
+    use acic_cloudsim::cluster::ClusterSpec;
+    use acic_cloudsim::device::DeviceKind;
+    use acic_cloudsim::instance::InstanceType;
+    use acic_cloudsim::raid::Raid0;
+    use acic_cloudsim::units::mib;
+
+    fn system(fs: FsConfig, io_servers: usize, placement: Placement) -> IoSystem {
+        IoSystem {
+            cluster: ClusterSpec::for_procs(
+                InstanceType::Cc2_8xlarge,
+                64,
+                io_servers,
+                placement,
+                Raid0::new(DeviceKind::Ephemeral, 4),
+            ),
+            fs,
+        }
+    }
+
+    fn write_workload(per_proc_mib: f64, iterations: usize, compute_secs: f64) -> Workload {
+        let io = IoPhase {
+            io_procs: 64,
+            access: crate::phase::Access::Sequential,
+            per_proc_bytes: mib(per_proc_mib),
+            request_size: mib(4.0),
+            op: IoOp::Write,
+            collective: true,
+            shared_file: true,
+            api: IoApi::MpiIo,
+        };
+        let mut phases = Vec::new();
+        for _ in 0..iterations {
+            phases.push(Phase::Compute { secs: compute_secs });
+            phases.push(Phase::Io(io));
+        }
+        Workload::new(64, phases)
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let sys = system(FsConfig::pvfs2(mib(4.0)), 4, Placement::Dedicated);
+        let exec = Executor::new(sys);
+        let w = write_workload(32.0, 3, 1.0);
+        let a = exec.run(&w, 7).unwrap();
+        let b = exec.run(&w, 7).unwrap();
+        assert_eq!(a, b);
+        let c = exec.run(&w, 8).unwrap();
+        assert_ne!(a.total_secs, c.total_secs, "different seed, different jitter");
+    }
+
+    #[test]
+    fn more_pvfs_servers_speed_up_io_heavy_writes() {
+        // Paper §5.6 obs 2: more I/O servers is better for PVFS2.
+        let w = write_workload(128.0, 4, 0.5);
+        let t1 = Executor::new(system(FsConfig::pvfs2(mib(4.0)), 1, Placement::Dedicated))
+            .run(&w, 1)
+            .unwrap()
+            .total_secs;
+        let t4 = Executor::new(system(FsConfig::pvfs2(mib(4.0)), 4, Placement::Dedicated))
+            .run(&w, 1)
+            .unwrap()
+            .total_secs;
+        assert!(t4 < t1, "4 servers {t4} should beat 1 server {t1}");
+    }
+
+    #[test]
+    fn compute_time_is_passed_through_and_penalized_parttime() {
+        let w = Workload::new(64, vec![Phase::Compute { secs: 10.0 }]);
+        let ded = Executor::new(system(FsConfig::nfs(), 1, Placement::Dedicated))
+            .run(&w, 1)
+            .unwrap();
+        assert_eq!(ded.total_secs, 10.0);
+        let part = Executor::new(system(FsConfig::nfs(), 1, Placement::PartTime))
+            .run(&w, 1)
+            .unwrap();
+        assert!(part.total_secs > 10.0 && part.total_secs < 11.0);
+    }
+
+    #[test]
+    fn nfs_rejects_multi_server_configs() {
+        let exec = Executor::new(system(FsConfig::nfs(), 4, Placement::Dedicated));
+        let w = write_workload(8.0, 1, 0.0);
+        assert!(exec.run(&w, 1).is_err());
+    }
+
+    #[test]
+    fn io_and_compute_seconds_partition_total() {
+        let exec = Executor::new(system(FsConfig::pvfs2(mib(4.0)), 2, Placement::Dedicated));
+        let w = write_workload(32.0, 3, 2.0);
+        let o = exec.run(&w, 1).unwrap();
+        assert!((o.io_secs + o.compute_secs - o.total_secs).abs() < 1e-9);
+        assert_eq!(o.phase_secs.len(), 6);
+        assert!(o.io_fraction() > 0.0 && o.io_fraction() < 1.0);
+    }
+
+    #[test]
+    fn fault_injection_adds_time_and_counts() {
+        let sys = system(FsConfig::pvfs2(mib(4.0)), 2, Placement::Dedicated);
+        let w = write_workload(16.0, 5, 0.1);
+        let clean = Executor::new(sys).run(&w, 3).unwrap();
+        let faulty = Executor::new(sys)
+            .with_faults(FaultPlan { phase_fail_prob: 1.0, retry_penalty_secs: 30.0 })
+            .run(&w, 3)
+            .unwrap();
+        assert_eq!(faulty.faults, 5);
+        assert!((faulty.total_secs - clean.total_secs - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nfs_small_writes_are_cache_fast_but_huge_writes_throttle() {
+        // A modest checkpoint fits the server cache: visible time ≈ network.
+        let small = write_workload(8.0, 2, 0.0); // 1 GiB total
+        let t_small = Executor::new(system(FsConfig::nfs(), 1, Placement::Dedicated))
+            .run(&small, 1)
+            .unwrap()
+            .total_secs;
+        // 64 GiB total blows through the ~30 GiB cache and pays disk time.
+        let huge = write_workload(512.0, 2, 0.0);
+        let t_huge = Executor::new(system(FsConfig::nfs(), 1, Placement::Dedicated))
+            .run(&huge, 1)
+            .unwrap()
+            .total_secs;
+        // Scale: if everything were network-bound, t_huge ≈ 64 × t_small.
+        assert!(t_huge > 40.0 * t_small, "cache overflow must cost disk time");
+    }
+
+    #[test]
+    fn ephemeral_beats_ebs_with_multiple_pvfs_servers() {
+        // Paper §5.6 obs 3.
+        let w = write_workload(256.0, 3, 0.0);
+        let mk = |dev, width| IoSystem {
+            cluster: ClusterSpec::for_procs(
+                InstanceType::Cc2_8xlarge,
+                64,
+                4,
+                Placement::Dedicated,
+                Raid0::new(dev, width),
+            ),
+            fs: FsConfig::pvfs2(mib(4.0)),
+        };
+        let t_eph = Executor::new(mk(DeviceKind::Ephemeral, 4)).run(&w, 2).unwrap().total_secs;
+        let t_ebs = Executor::new(mk(DeviceKind::Ebs, 2)).run(&w, 2).unwrap().total_secs;
+        assert!(t_eph < t_ebs, "eph {t_eph} vs ebs {t_ebs}");
+    }
+}

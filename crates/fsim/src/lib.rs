@@ -1,0 +1,52 @@
+//! # acic-fsim — shared/parallel file-system models over the cloud simulator
+//!
+//! ACIC's exploration space (paper §3.1) configures the cloud I/O stack:
+//! NFS vs PVFS2, the number and placement of I/O servers, the stripe size,
+//! and the backing devices.  This crate turns an I/O-system configuration
+//! plus a logical application workload into flows on the
+//! [`acic_cloudsim`] engine and produces the end-to-end execution time.
+//!
+//! The two file-system models capture the first-order mechanisms that make
+//! cloud I/O configuration application-dependent:
+//!
+//! * **NFS** ([`nfs`]): a single server exported asynchronously.  Writes
+//!   land in the server's page cache (fast, network-bound) and drain to the
+//!   device during later compute phases; only cache overflow is charged at
+//!   device speed.  Reads of recently written data hit the cache.  Shared
+//!   files written without collective I/O pay a lock-serialization penalty.
+//!   This is why "NFS often works better for applications performing small
+//!   amounts of I/O using POSIX API" (paper §5.6, observation 4).
+//! * **PVFS2** ([`pvfs`]): `S` servers, round-robin striping with a
+//!   configurable stripe size, no client caching — everything moves
+//!   synchronously, but bandwidth aggregates across servers, which is why
+//!   "having more I/O servers improves performance of both cost and time"
+//!   (observation 2).
+//!
+//! Cross-cutting mechanisms: collective (two-phase) I/O with one aggregator
+//! per node ([`collective`]), I/O-interface overheads for POSIX / MPI-IO /
+//! HDF5 / netCDF ([`api`]), and placement effects (part-time servers ride
+//! free on compute instances and enjoy locality with aggregators, but steal
+//! some compute; dedicated servers cost extra instances).
+//!
+//! The entry point is [`exec::Executor`], which walks a [`phase::Workload`]
+//! (alternating compute and I/O phases) and returns a
+//! [`outcome::RunOutcome`].
+
+pub mod api;
+pub mod collective;
+pub mod config;
+pub mod exec;
+pub mod fault;
+pub mod nfs;
+pub mod outcome;
+pub mod params;
+pub mod phase;
+pub mod plan;
+pub mod pvfs;
+
+pub use api::IoApi;
+pub use config::{FsConfig, FsType, IoSystem};
+pub use exec::Executor;
+pub use outcome::RunOutcome;
+pub use params::FsParams;
+pub use phase::{Access, IoOp, IoPhase, Phase, Workload};

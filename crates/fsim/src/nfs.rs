@@ -1,0 +1,399 @@
+//! The NFS model: one server, async export, client/server caching,
+//! close-to-open consistency, byte-range locking on shared writes.
+
+use crate::params::FsParams;
+use crate::phase::{IoOp, IoPhase};
+use acic_cloudsim::cluster::Cluster;
+use acic_cloudsim::engine::Simulation;
+use acic_cloudsim::flow::FlowSpec;
+
+/// Mutable NFS server state carried across the phases of one run.
+#[derive(Debug, Clone)]
+pub struct NfsState {
+    /// Dirty bytes sitting in the server page cache awaiting write-back.
+    pub dirty: f64,
+    /// Dirty bytes sitting in *client* page caches awaiting transmission
+    /// (plain POSIX writes on an async mount return after the local memory
+    /// copy — why "NFS often works better for applications performing
+    /// small amounts of I/O using POSIX API", §5.6 observation 4).
+    pub client_dirty: f64,
+    /// Bytes written to the file system during this run (cached or not).
+    pub written_file: f64,
+    /// Server page-cache capacity, bytes.
+    pub cache_cap: f64,
+    /// Aggregate client page-cache capacity for dirty data, bytes.
+    pub client_cache_cap: f64,
+    /// Nominal write-back drain bandwidth of the backing array, bytes/s.
+    pub drain_bps: f64,
+    /// Client→server write-back bandwidth (NIC-bound), bytes/s.
+    pub client_drain_bps: f64,
+}
+
+impl NfsState {
+    /// Fresh state for a server with the given cache capacities and drain
+    /// bandwidths.
+    pub fn new(cache_cap: f64, drain_bps: f64) -> Self {
+        Self {
+            dirty: 0.0,
+            client_dirty: 0.0,
+            written_file: 0.0,
+            cache_cap,
+            client_cache_cap: 0.0,
+            drain_bps,
+            client_drain_bps: f64::INFINITY,
+        }
+    }
+
+    /// Configure the client-side cache (capacity and write-back rate).
+    pub fn with_client_cache(mut self, cap: f64, drain_bps: f64) -> Self {
+        self.client_cache_cap = cap;
+        self.client_drain_bps = drain_bps;
+        self
+    }
+
+    /// Write-back progress during `secs` seconds of non-I/O time: clients
+    /// push to the server, the server pushes to the array.
+    pub fn drain(&mut self, secs: f64) {
+        let pushed = (secs * self.client_drain_bps).min(self.client_dirty);
+        self.client_dirty -= pushed;
+        self.dirty = (self.dirty + pushed - secs * self.drain_bps).max(0.0);
+    }
+
+    /// How many of `bytes` read bytes hit the server page cache.
+    ///
+    /// Data never written in this run (cold input files) always misses.
+    /// For read-back of data written earlier we assume FIFO eviction and
+    /// oldest-first read-back — the checkpoint/restart pattern — so the
+    /// evicted prefix (`written_file − resident`) misses and the rest hits.
+    pub fn read_hit_bytes(&self, bytes: f64) -> f64 {
+        if self.written_file <= 0.0 {
+            return 0.0;
+        }
+        let resident = self.written_file.min(self.cache_cap);
+        let evicted = self.written_file - resident;
+        (bytes - bytes.min(evicted)).clamp(0.0, resident)
+    }
+}
+
+/// Plan one NFS I/O burst: add its flows to `sim`, update the cache state,
+/// and return the serial (non-bandwidth) overhead in seconds.
+///
+/// `node_bytes` lists `(compute_node, bytes)` after any collective
+/// transform; `fs_request_size` is the request size the server sees.
+pub(crate) fn plan_nfs_phase(
+    sim: &mut Simulation,
+    cluster: &Cluster,
+    params: &FsParams,
+    phase: &IoPhase,
+    state: &mut NfsState,
+    node_bytes: &[(usize, f64)],
+    fs_request_size: f64,
+    first_open: bool,
+) -> f64 {
+    let server_node = cluster.node_of_server(0);
+    let total: f64 = node_bytes.iter().map(|&(_, b)| b).sum();
+    let total_calls = total / fs_request_size.max(1.0);
+
+    let mut path = Vec::with_capacity(4);
+    match phase.op {
+        IoOp::Write => {
+            // Plain POSIX writes on an async mount complete into the
+            // client page cache; only what exceeds the client cache (or
+            // any non-POSIX traffic, which MPI-IO flushes for visibility)
+            // crosses the wire inside the phase.
+            let client_absorbable = if phase.api == crate::api::IoApi::Posix
+                && !phase.effective_collective()
+            {
+                (state.client_cache_cap - state.client_dirty).max(0.0)
+            } else {
+                0.0
+            };
+            let client_frac = if total > 0.0 {
+                (client_absorbable.min(total)) / total
+            } else {
+                0.0
+            };
+            state.client_dirty += total * client_frac;
+
+            for &(node, bytes) in node_bytes {
+                let wire = bytes * (1.0 - client_frac);
+                if wire <= 0.0 {
+                    continue;
+                }
+                path.clear();
+                cluster.net_path(node, server_node, &mut path);
+                sim.add_flow(
+                    FlowSpec::new(wire)
+                        .through_all(path.iter().copied())
+                        .labeled(format!("nfs wr n{node}")),
+                );
+            }
+            let wire_total = total * (1.0 - client_frac);
+            // ROMIO collective buffering on NFS flushes and locks every
+            // two-phase round for cross-client consistency, so collective
+            // writes reach the array synchronously; independent writes are
+            // absorbed by the async-export page cache up to its capacity.
+            let sync_bytes = if phase.effective_collective() && params.nfs_collective_sync {
+                wire_total
+            } else {
+                let available = (state.cache_cap - state.dirty).max(0.0);
+                let absorbed = wire_total.min(available);
+                state.dirty += absorbed;
+                wire_total - absorbed // overflow
+            };
+            if sync_bytes > 0.0 {
+                // Random access stretches the device time (seeks).
+                let rand_amp = if phase.access.is_random() {
+                    1.0 / cluster.storage_random_efficiency(server_node)
+                } else {
+                    1.0
+                };
+                path.clear();
+                cluster.storage_path(server_node, true, &mut path);
+                sim.add_flow(
+                    FlowSpec::new(sync_bytes * rand_amp)
+                        .through_all(path.iter().copied())
+                        .labeled("nfs wr sync"),
+                );
+            }
+            state.written_file += total;
+        }
+        IoOp::Read => {
+            // Recently written bytes are served from the server page cache;
+            // cold data and the FIFO-evicted prefix come off the array.
+            let hit_frac = if total > 0.0 { state.read_hit_bytes(total) / total } else { 0.0 };
+            for &(node, bytes) in node_bytes {
+                if bytes <= 0.0 {
+                    continue;
+                }
+                let hit = bytes * hit_frac;
+                let miss = bytes - hit;
+                if hit > 0.0 {
+                    path.clear();
+                    cluster.net_path(server_node, node, &mut path);
+                    sim.add_flow(
+                        FlowSpec::new(hit)
+                            .through_all(path.iter().copied())
+                            .labeled(format!("nfs rd hit n{node}")),
+                    );
+                }
+                if miss > 0.0 {
+                    let rand_amp = if phase.access.is_random() {
+                        1.0 / cluster.storage_random_efficiency(server_node)
+                    } else {
+                        1.0
+                    };
+                    if rand_amp > 1.0 {
+                        // Decouple: seeks stretch the array time only.
+                        path.clear();
+                        cluster.storage_path(server_node, false, &mut path);
+                        sim.add_flow(
+                            FlowSpec::new(miss * rand_amp)
+                                .through_all(path.iter().copied())
+                                .labeled(format!("nfs rd dev n{node}")),
+                        );
+                        path.clear();
+                        cluster.net_path(server_node, node, &mut path);
+                        sim.add_flow(
+                            FlowSpec::new(miss)
+                                .through_all(path.iter().copied())
+                                .labeled(format!("nfs rd net n{node}")),
+                        );
+                    } else {
+                        path.clear();
+                        cluster.storage_path(server_node, false, &mut path);
+                        cluster.net_path(server_node, node, &mut path);
+                        sim.add_flow(
+                            FlowSpec::new(miss)
+                                .through_all(path.iter().copied())
+                                .labeled(format!("nfs rd miss n{node}")),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // --- serial overheads ---
+    // Per-call client cost (parallel across processes, serial within one).
+    let calls_per_proc = phase.calls_per_proc();
+    let mut serial =
+        calls_per_proc * (phase.api.client_call_overhead() + params.nfs_client_op_overhead);
+    // Server request processing.
+    serial += total_calls / params.nfs_server_op_rate;
+    // Byte-range locks serialize uncoordinated writers of one shared file.
+    if phase.op.is_write() && phase.shared_file && !phase.effective_collective() {
+        serial += total_calls * params.nfs_lock_op_cost;
+    }
+    // Metadata: every I/O process opens the file on the first access of
+    // the run (files stay open across iterations); per-process files
+    // double the metadata work (create + open).  Interface-level metadata
+    // recurs every phase (HDF5 rewrites object headers per checkpoint).
+    let opens = if first_open {
+        phase.io_procs as f64 * if phase.shared_file { 1.0 } else { 2.0 }
+    } else {
+        0.0
+    };
+    serial += (opens + phase.api.phase_meta_ops()) * params.nfs_meta_op_cost;
+    serial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::IoApi;
+    use acic_cloudsim::cluster::{ClusterSpec, Placement};
+    use acic_cloudsim::device::DeviceKind;
+    use acic_cloudsim::instance::InstanceType;
+    use acic_cloudsim::raid::Raid0;
+    use acic_cloudsim::rng::SplitMix64;
+    use acic_cloudsim::units::{gib, mib};
+
+    fn setup(placement: Placement) -> (Simulation, Cluster) {
+        let mut sim = Simulation::new();
+        let spec = ClusterSpec {
+            instance_type: InstanceType::Cc2_8xlarge,
+            compute_instances: 2,
+            io_servers: 1,
+            placement,
+            storage: Raid0::new(DeviceKind::Ebs, 2),
+        };
+        let mut rng = SplitMix64::new(0);
+        let c = Cluster::build(spec, &mut sim, &mut rng).unwrap();
+        (sim, c)
+    }
+
+    fn phase(op: IoOp) -> IoPhase {
+        IoPhase {
+            io_procs: 32,
+            access: crate::phase::Access::Sequential,
+            per_proc_bytes: mib(32.0),
+            request_size: mib(4.0),
+            op,
+            collective: false,
+            shared_file: true,
+            api: IoApi::MpiIo,
+        }
+    }
+
+    fn state() -> NfsState {
+        NfsState::new(gib(30.0), 140.0e6)
+    }
+
+    #[test]
+    fn small_write_is_absorbed_by_cache() {
+        let (mut sim, c) = setup(Placement::Dedicated);
+        let mut st = state();
+        let nb = vec![(0, mib(512.0)), (1, mib(512.0))];
+        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &phase(IoOp::Write), &mut st, &nb, mib(4.0), true);
+        assert!((st.dirty - gib(1.0)).abs() < 1.0);
+        // Only the two network flows, no overflow flow.
+        assert_eq!(sim.flow_count(), 2);
+    }
+
+    #[test]
+    fn overflowing_write_hits_the_array() {
+        let (mut sim, c) = setup(Placement::Dedicated);
+        let mut st = NfsState::new(gib(1.0), 140.0e6);
+        let nb = vec![(0, gib(2.0))];
+        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &phase(IoOp::Write), &mut st, &nb, mib(4.0), true);
+        // One network flow plus one overflow flow.
+        assert_eq!(sim.flow_count(), 2);
+        assert!((st.dirty - gib(1.0)).abs() < 1.0, "cache filled to capacity");
+    }
+
+    #[test]
+    fn cold_read_misses_everything() {
+        let (mut sim, c) = setup(Placement::Dedicated);
+        let mut st = state();
+        let nb = vec![(0, gib(1.0))];
+        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &phase(IoOp::Read), &mut st, &nb, mib(4.0), true);
+        assert_eq!(sim.flow_count(), 1, "single miss flow");
+        assert_eq!(st.read_hit_bytes(gib(1.0)), 0.0, "cold data never hits");
+    }
+
+    #[test]
+    fn fifo_eviction_makes_oldest_readback_miss() {
+        // Write 32 "GB" into a 21 "GB" cache: the oldest 11 are evicted.
+        let mut st = NfsState::new(21.0, 1.0);
+        st.written_file = 32.0;
+        let hit = st.read_hit_bytes(16.0);
+        assert!((hit - 5.0).abs() < 1e-9, "16 read, 11 evicted → 5 hit, got {hit}");
+        // Reading less than the evicted prefix hits nothing.
+        assert_eq!(st.read_hit_bytes(8.0), 0.0);
+    }
+
+    #[test]
+    fn read_after_write_hits_cache() {
+        let (mut sim, c) = setup(Placement::Dedicated);
+        let mut st = state();
+        let nb = vec![(0, gib(1.0))];
+        let p = FsParams::default();
+        plan_nfs_phase(&mut sim, &c, &p, &phase(IoOp::Write), &mut st, &nb, mib(4.0), true);
+        let before = sim.flow_count();
+        plan_nfs_phase(&mut sim, &c, &p, &phase(IoOp::Read), &mut st, &nb, mib(4.0), true);
+        // All bytes cached → exactly one hit flow, no miss flow.
+        assert_eq!(sim.flow_count() - before, 1);
+    }
+
+    #[test]
+    fn lock_penalty_only_for_uncoordinated_shared_writes() {
+        let (mut sim, c) = setup(Placement::Dedicated);
+        let p = FsParams::default();
+        let nb = vec![(0, gib(1.0))];
+
+        let mut shared = phase(IoOp::Write);
+        shared.collective = false;
+        shared.shared_file = true;
+        let s1 = plan_nfs_phase(&mut sim, &c, &p, &shared, &mut state(), &nb, mib(4.0), true);
+
+        let mut coll = shared;
+        coll.collective = true;
+        let s2 = plan_nfs_phase(&mut sim, &c, &p, &coll, &mut state(), &nb, mib(4.0), true);
+
+        let mut private = shared;
+        private.shared_file = false;
+        let s3 = plan_nfs_phase(&mut sim, &c, &p, &private, &mut state(), &nb, mib(4.0), true);
+
+        assert!(s1 > s2, "collective avoids locks: {s1} vs {s2}");
+        // Private files avoid locks too (but pay extra metadata, far less).
+        assert!(s1 > s3, "private files avoid locks: {s1} vs {s3}");
+    }
+
+    #[test]
+    fn collective_writes_bypass_the_cache() {
+        let (mut sim, c) = setup(Placement::Dedicated);
+        let mut st = state();
+        let mut coll = phase(IoOp::Write);
+        coll.collective = true;
+        let nb = vec![(0, mib(512.0))];
+        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &coll, &mut st, &nb, mib(16.0), true);
+        assert_eq!(st.dirty, 0.0, "nothing absorbed: ROMIO flushes each round");
+        assert_eq!(sim.flow_count(), 2, "network flow + sync array flow");
+    }
+
+    #[test]
+    fn drain_reduces_dirty_during_compute() {
+        let mut st = NfsState::new(gib(10.0), 100.0e6);
+        st.dirty = gib(1.0);
+        st.drain(5.0);
+        assert!((st.dirty - (gib(1.0) - 500.0e6)).abs() < 1.0);
+        st.drain(1e9);
+        assert_eq!(st.dirty, 0.0);
+    }
+
+    #[test]
+    fn parttime_server_write_from_own_node_uses_bus() {
+        let (mut sim, c) = setup(Placement::PartTime);
+        let mut st = state();
+        // Node 0 hosts the server; its writes stay local.
+        let nb = vec![(0, mib(100.0))];
+        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &phase(IoOp::Write), &mut st, &nb, mib(4.0), true);
+        assert_eq!(sim.flow_count(), 1);
+        // Bus capacity >> NIC capacity, so the single flow must finish
+        // faster than the same flow over the wire would.
+        let rep = sim.run().unwrap();
+        let wire_time = mib(100.0) / InstanceType::Cc2_8xlarge.nic_bps();
+        assert!(rep.makespan() < wire_time);
+    }
+}

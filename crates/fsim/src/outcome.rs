@@ -1,0 +1,46 @@
+//! Results of executing a workload on an I/O system.
+
+/// Outcome of one simulated application run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// End-to-end execution time, seconds (what Fig. 5 plots).
+    pub total_secs: f64,
+    /// Seconds spent in I/O phases (visible I/O time).
+    pub io_secs: f64,
+    /// Seconds spent in compute phases (after placement interference).
+    pub compute_secs: f64,
+    /// Duration of every phase, in workload order.
+    pub phase_secs: Vec<f64>,
+    /// Injected server-connection failures encountered.
+    pub faults: usize,
+}
+
+impl RunOutcome {
+    /// Fraction of the run spent doing I/O.
+    pub fn io_fraction(&self) -> f64 {
+        if self.total_secs > 0.0 {
+            self.io_secs / self.total_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_fraction_is_well_defined() {
+        let o = RunOutcome {
+            total_secs: 100.0,
+            io_secs: 25.0,
+            compute_secs: 75.0,
+            phase_secs: vec![],
+            faults: 0,
+        };
+        assert_eq!(o.io_fraction(), 0.25);
+        let zero = RunOutcome { total_secs: 0.0, io_secs: 0.0, compute_secs: 0.0, phase_secs: vec![], faults: 0 };
+        assert_eq!(zero.io_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Calibration constants for the file-system models, collected in one place.
+//!
+//! These are the knobs that make the simulated cloud reproduce the *shape*
+//! of the paper's measurements (see DESIGN.md §5 for the calibration
+//! targets).  They are plain data so tests and ablation benches can vary
+//! them; `FsParams::default()` is the calibrated set used everywhere else.
+
+use acic_cloudsim::units::mib;
+
+/// All file-system model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FsParams {
+    // --- NFS ---
+    /// Client-side cost of one NFS RPC beyond the interface overhead, s.
+    pub nfs_client_op_overhead: f64,
+    /// NFS server request-processing rate, ops/second.
+    pub nfs_server_op_rate: f64,
+    /// Serialized per-operation cost of byte-range locking when many
+    /// processes write one shared file without collective I/O, s.
+    pub nfs_lock_op_cost: f64,
+    /// Cost of one NFS metadata operation (open/create/getattr), s.
+    pub nfs_meta_op_cost: f64,
+    /// Fraction of the server instance's memory usable as page cache for
+    /// async-exported writes.
+    pub nfs_cache_fraction: f64,
+    /// Fraction of each *client* instance's memory that may hold dirty
+    /// pages from plain POSIX writes before write-back throttles (the
+    /// kernel dirty-ratio bound).
+    pub nfs_client_cache_fraction: f64,
+
+    // --- PVFS2 ---
+    /// Client-side cost of one PVFS2 request beyond the interface overhead, s.
+    pub pvfs_client_op_overhead: f64,
+    /// Per-server processing rate for stripe-unit requests, units/second.
+    pub pvfs_server_unit_rate: f64,
+    /// Cost of one PVFS2 metadata operation (no client metadata caching), s.
+    pub pvfs_meta_op_cost: f64,
+    /// Whether PVFS2 pays read-modify-write amplification for *interleaved*
+    /// (shared-file, non-collective) writes whose request size is not a
+    /// multiple of the stripe size (no client cache to coalesce partial
+    /// stripes; sequential per-file streams and collective buffers merge
+    /// server-side and are exempt).
+    pub pvfs_rmw_enabled: bool,
+    /// Cap on the RMW write amplification factor: the server request queue
+    /// still merges neighbouring partial-stripe writes, bounding the waste.
+    pub pvfs_rmw_amp_cap: f64,
+    /// Whether ROMIO-style collective buffering on NFS bypasses the async
+    /// write-back cache: each two-phase round ends with locking and a
+    /// flush for cross-client consistency, so collective MPI-IO writes hit
+    /// the server array synchronously.  (Independent POSIX/MPI-IO writes
+    /// keep the ordinary async-export path.)
+    pub nfs_collective_sync: bool,
+
+    // --- cross-cutting ---
+    /// Two-phase collective I/O buffer size per aggregator, bytes (ROMIO
+    /// `cb_buffer_size`-style).
+    pub collective_buffer: f64,
+    /// Synchronization cost per collective round per log2(procs), s.
+    pub collective_sync_cost: f64,
+    /// Multiplier on compute time when I/O servers run part-time on the
+    /// compute instances (CPU/memory interference).
+    pub parttime_compute_penalty: f64,
+}
+
+impl Default for FsParams {
+    fn default() -> Self {
+        Self {
+            nfs_client_op_overhead: 40e-6,
+            nfs_server_op_rate: 30_000.0,
+            nfs_lock_op_cost: 120e-6,
+            nfs_meta_op_cost: 300e-6,
+            nfs_cache_fraction: 0.4,
+            nfs_client_cache_fraction: 0.1,
+
+            pvfs_client_op_overhead: 120e-6,
+            pvfs_server_unit_rate: 30_000.0,
+            pvfs_meta_op_cost: 3.0e-3,
+            pvfs_rmw_enabled: true,
+            pvfs_rmw_amp_cap: 2.0,
+            nfs_collective_sync: true,
+
+            collective_buffer: mib(16.0),
+            collective_sync_cost: 0.4e-3,
+            parttime_compute_penalty: 1.03,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive_and_sane() {
+        let p = FsParams::default();
+        assert!(p.nfs_client_op_overhead > 0.0 && p.nfs_client_op_overhead < 1e-3);
+        assert!(p.pvfs_client_op_overhead > p.nfs_client_op_overhead,
+            "PVFS2 requests cost more client-side than cached NFS RPCs");
+        assert!(p.pvfs_meta_op_cost > p.nfs_meta_op_cost,
+            "PVFS2 metadata is uncached and therefore dearer");
+        assert!((0.0..=1.0).contains(&p.nfs_cache_fraction));
+        assert!(p.parttime_compute_penalty >= 1.0);
+        assert!(p.collective_buffer >= mib(1.0));
+    }
+}

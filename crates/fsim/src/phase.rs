@@ -1,0 +1,236 @@
+//! Logical workloads: sequences of compute and I/O phases.
+//!
+//! HPC applications "have periodic, relatively well-defined I/O behavior"
+//! (paper §2) — simulation codes alternate compute/communication with
+//! checkpoint-style I/O bursts.  A [`Workload`] is exactly that alternation;
+//! it is what both the IOR workalike and the four application models emit.
+
+use crate::api::IoApi;
+
+/// Direction of an I/O phase (Table 1 "Read and/or write").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IoOp {
+    /// Data flows storage → clients.
+    Read,
+    /// Data flows clients → storage.
+    Write,
+}
+
+impl IoOp {
+    /// Both directions.
+    pub const ALL: [IoOp; 2] = [IoOp::Read, IoOp::Write];
+
+    /// True for [`IoOp::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, IoOp::Write)
+    }
+}
+
+impl std::fmt::Display for IoOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+        })
+    }
+}
+
+/// Access spatiality of an I/O phase.
+///
+/// The paper's Table 1 space deliberately omits this ("most modern HPC
+/// applications perform sequential I/O, dominated by append-only writes",
+/// §3.2) but notes that IOR "may need to be expanded if an application has
+/// I/O features that it does not test" (§2) — this is that expansion,
+/// exercised by the `ext_random_access` study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Access {
+    /// Streaming/append-only access (the HPC default).
+    #[default]
+    Sequential,
+    /// Random offsets: spindle-backed devices pay a seek penalty.
+    Random,
+}
+
+impl Access {
+    /// True for [`Access::Random`].
+    pub fn is_random(self) -> bool {
+        matches!(self, Access::Random)
+    }
+}
+
+/// One I/O burst: every I/O process moves `per_proc_bytes` in calls of
+/// `request_size` bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoPhase {
+    /// Number of processes performing I/O in this phase (≤ the workload's
+    /// total process count; Table 1 "Num. of I/O processes").
+    pub io_procs: usize,
+    /// Access spatiality (sequential unless the workload says otherwise).
+    pub access: Access,
+    /// Bytes transferred per I/O process ("Data size").
+    pub per_proc_bytes: f64,
+    /// Bytes per I/O call ("Request size"); clamped to `per_proc_bytes`.
+    pub request_size: f64,
+    /// Read or write.
+    pub op: IoOp,
+    /// Whether the processes cooperate through collective I/O.
+    pub collective: bool,
+    /// Single shared file (true) vs one file per process (false).
+    pub shared_file: bool,
+    /// I/O interface in use.
+    pub api: IoApi,
+}
+
+impl IoPhase {
+    /// Total bytes moved by the phase (before format inflation).
+    pub fn total_bytes(&self) -> f64 {
+        self.per_proc_bytes * self.io_procs as f64
+    }
+
+    /// I/O calls issued per process.
+    pub fn calls_per_proc(&self) -> f64 {
+        (self.per_proc_bytes / self.effective_request_size()).ceil().max(1.0)
+    }
+
+    /// Request size clamped to the per-process data size ("request size
+    /// cannot be greater than data size", §3.3).
+    pub fn effective_request_size(&self) -> f64 {
+        self.request_size.min(self.per_proc_bytes).max(1.0)
+    }
+
+    /// Collective I/O is only effective on interfaces that support it.
+    pub fn effective_collective(&self) -> bool {
+        self.collective && self.api.supports_collective()
+    }
+}
+
+/// One step of a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Phase {
+    /// Pure computation/communication for the given duration (as measured
+    /// on an unloaded node; placement interference is applied by the
+    /// executor).
+    Compute {
+        /// Duration in seconds.
+        secs: f64,
+    },
+    /// An I/O burst.
+    Io(IoPhase),
+}
+
+/// A full application run: `nprocs` MPI processes walking `phases` in order
+/// (phases are globally synchronized, as checkpoint-style I/O is).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Total MPI processes ("Num. of all processes").
+    pub nprocs: usize,
+    /// The phase sequence.
+    pub phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// New workload; panics if `nprocs` is zero.
+    pub fn new(nprocs: usize, phases: Vec<Phase>) -> Self {
+        assert!(nprocs > 0, "workload needs at least one process");
+        Self { nprocs, phases }
+    }
+
+    /// Total bytes moved across all I/O phases (before inflation).
+    pub fn total_io_bytes(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Io(io) => io.total_bytes(),
+                Phase::Compute { .. } => 0.0,
+            })
+            .sum()
+    }
+
+    /// Total declared compute seconds.
+    pub fn total_compute_secs(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Compute { secs } => *secs,
+                Phase::Io(_) => 0.0,
+            })
+            .sum()
+    }
+
+    /// Number of I/O phases ("I/O iteration count" when phases repeat).
+    pub fn io_phase_count(&self) -> usize {
+        self.phases.iter().filter(|p| matches!(p, Phase::Io(_))).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_cloudsim::units::mib;
+
+    fn phase() -> IoPhase {
+        IoPhase {
+            io_procs: 64,
+            access: Access::Sequential,
+            per_proc_bytes: mib(100.0),
+            request_size: mib(4.0),
+            op: IoOp::Write,
+            collective: true,
+            shared_file: true,
+            api: IoApi::MpiIo,
+        }
+    }
+
+    #[test]
+    fn totals_and_calls() {
+        let p = phase();
+        assert_eq!(p.total_bytes(), 64.0 * mib(100.0));
+        assert_eq!(p.calls_per_proc(), 25.0);
+    }
+
+    #[test]
+    fn request_size_clamped_to_data_size() {
+        let mut p = phase();
+        p.request_size = mib(512.0);
+        assert_eq!(p.effective_request_size(), mib(100.0));
+        assert_eq!(p.calls_per_proc(), 1.0);
+    }
+
+    #[test]
+    fn collective_requires_capable_api() {
+        let mut p = phase();
+        assert!(p.effective_collective());
+        p.api = IoApi::Posix;
+        assert!(!p.effective_collective());
+    }
+
+    #[test]
+    fn workload_aggregates() {
+        let w = Workload::new(
+            64,
+            vec![
+                Phase::Compute { secs: 5.0 },
+                Phase::Io(phase()),
+                Phase::Compute { secs: 5.0 },
+                Phase::Io(phase()),
+            ],
+        );
+        assert_eq!(w.total_compute_secs(), 10.0);
+        assert_eq!(w.io_phase_count(), 2);
+        assert_eq!(w.total_io_bytes(), 2.0 * 64.0 * mib(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_procs_rejected() {
+        let _ = Workload::new(0, vec![]);
+    }
+
+    #[test]
+    fn io_op_display() {
+        assert_eq!(IoOp::Read.to_string(), "read");
+        assert_eq!(IoOp::Write.to_string(), "write");
+        assert!(IoOp::Write.is_write());
+        assert!(!IoOp::Read.is_write());
+    }
+}

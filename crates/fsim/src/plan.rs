@@ -1,0 +1,103 @@
+//! Shared planning helpers: mapping I/O processes onto compute nodes and
+//! I/O servers.
+
+use acic_cloudsim::cluster::Cluster;
+
+/// How many of the `io_procs` I/O processes live on each compute node when
+/// the processes are spread evenly across ranks (the common block layout).
+///
+/// Returns `(node_index, procs_on_node)` for every compute node with at
+/// least one I/O process.
+pub(crate) fn io_procs_per_node(
+    cluster: &Cluster,
+    io_procs: usize,
+    nprocs: usize,
+) -> Vec<(usize, usize)> {
+    let nodes = cluster.spec.compute_instances;
+    let io_procs = io_procs.min(nprocs).max(1);
+    // I/O ranks are strided evenly over [0, nprocs); with block rank→node
+    // mapping that spreads them uniformly over nodes, with earlier nodes
+    // picking up the remainder.
+    let base = io_procs / nodes;
+    let extra = io_procs % nodes;
+    (0..nodes)
+        .map(|n| (n, base + usize::from(n < extra)))
+        .filter(|&(_, c)| c > 0)
+        .collect()
+}
+
+/// The I/O servers a client on `node` talks to when each request spans
+/// `spread` of the `nservers` servers; round-robin rotated by node so load
+/// balances across servers.
+pub(crate) fn servers_for_node(node: usize, spread: usize, nservers: usize) -> Vec<usize> {
+    let spread = spread.clamp(1, nservers);
+    (0..spread).map(|k| (node + k) % nservers).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_cloudsim::cluster::{Cluster, ClusterSpec, Placement};
+    use acic_cloudsim::device::DeviceKind;
+    use acic_cloudsim::engine::Simulation;
+    use acic_cloudsim::instance::InstanceType;
+    use acic_cloudsim::raid::Raid0;
+    use acic_cloudsim::rng::SplitMix64;
+
+    fn cluster(compute: usize) -> Cluster {
+        let spec = ClusterSpec {
+            instance_type: InstanceType::Cc2_8xlarge,
+            compute_instances: compute,
+            io_servers: 1,
+            placement: Placement::Dedicated,
+            storage: Raid0::new(DeviceKind::Ephemeral, 1),
+        };
+        let mut sim = Simulation::new();
+        let mut rng = SplitMix64::new(0);
+        Cluster::build(spec, &mut sim, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn even_spread_covers_all_nodes() {
+        let c = cluster(4);
+        let m = io_procs_per_node(&c, 64, 64);
+        assert_eq!(m, vec![(0, 16), (1, 16), (2, 16), (3, 16)]);
+    }
+
+    #[test]
+    fn remainder_goes_to_leading_nodes() {
+        let c = cluster(4);
+        let m = io_procs_per_node(&c, 6, 64);
+        assert_eq!(m, vec![(0, 2), (1, 2), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn fewer_io_procs_than_nodes_skips_empty_nodes() {
+        let c = cluster(4);
+        let m = io_procs_per_node(&c, 2, 64);
+        assert_eq!(m, vec![(0, 1), (1, 1)]);
+        let total: usize = m.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn io_procs_clamped_to_nprocs() {
+        let c = cluster(2);
+        let m = io_procs_per_node(&c, 500, 32);
+        let total: usize = m.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn server_selection_rotates_by_node() {
+        assert_eq!(servers_for_node(0, 2, 4), vec![0, 1]);
+        assert_eq!(servers_for_node(1, 2, 4), vec![1, 2]);
+        assert_eq!(servers_for_node(3, 2, 4), vec![3, 0]);
+    }
+
+    #[test]
+    fn spread_clamped_to_server_count() {
+        assert_eq!(servers_for_node(0, 10, 4), vec![0, 1, 2, 3]);
+        assert_eq!(servers_for_node(2, 0, 4), vec![2]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Scaling-law tests of the file-system models: qualitative behaviours
+//! that must hold across the whole parameter range, not just at the
+//! calibrated points.
+
+use acic_cloudsim::cluster::{ClusterSpec, Placement};
+use acic_cloudsim::device::DeviceKind;
+use acic_cloudsim::instance::InstanceType;
+use acic_cloudsim::raid::Raid0;
+use acic_cloudsim::units::mib;
+use acic_fsim::{Executor, FsConfig, IoApi, IoOp, IoPhase, IoSystem, Phase, Workload};
+use proptest::prelude::*;
+
+fn system(
+    fs: FsConfig,
+    io_servers: usize,
+    placement: Placement,
+    device: DeviceKind,
+    nprocs: usize,
+) -> IoSystem {
+    let width = match device {
+        DeviceKind::Ephemeral | DeviceKind::Ssd => 4,
+        DeviceKind::Ebs => 2,
+    };
+    IoSystem {
+        cluster: ClusterSpec::for_procs(
+            InstanceType::Cc2_8xlarge,
+            nprocs,
+            io_servers,
+            placement,
+            Raid0::new(device, width),
+        ),
+        fs,
+    }
+}
+
+fn workload(nprocs: usize, per_proc_mib: f64, op: IoOp, collective: bool, iters: usize) -> Workload {
+    let io = IoPhase {
+        io_procs: nprocs,
+        access: acic_fsim::Access::Sequential,
+        per_proc_bytes: mib(per_proc_mib),
+        request_size: mib(4.0),
+        op,
+        collective,
+        shared_file: true,
+        api: IoApi::MpiIo,
+    };
+    Workload::new(nprocs, vec![Phase::Io(io); iters])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PVFS2: more servers never hurt large synchronized writes, across
+    /// data sizes, scales, and devices.
+    #[test]
+    fn pvfs_servers_never_hurt_big_writes(
+        per_proc in 32.0f64..256.0,
+        nprocs in prop::sample::select(vec![64usize, 128, 256]),
+        device in prop::sample::select(vec![DeviceKind::Ephemeral, DeviceKind::Ebs]),
+    ) {
+        let w = workload(nprocs, per_proc, IoOp::Write, true, 2);
+        let t1 = Executor::new(system(FsConfig::pvfs2(mib(4.0)), 1, Placement::Dedicated, device, nprocs))
+            .run(&w, 9).unwrap().total_secs;
+        let t4 = Executor::new(system(FsConfig::pvfs2(mib(4.0)), 4, Placement::Dedicated, device, nprocs))
+            .run(&w, 9).unwrap().total_secs;
+        prop_assert!(t4 <= t1 * 1.05, "4 servers {t4}s vs 1 server {t1}s");
+    }
+
+    /// Reads scale with data volume on every file system: double volume,
+    /// at least no speedup.
+    #[test]
+    fn read_time_monotone_in_volume(
+        base in 16.0f64..128.0,
+        servers in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let sys = system(FsConfig::pvfs2(mib(4.0)), servers, Placement::Dedicated, DeviceKind::Ephemeral, 64);
+        let small = workload(64, base, IoOp::Read, false, 1);
+        let large = workload(64, base * 2.0, IoOp::Read, false, 1);
+        let ts = Executor::new(sys).run(&small, 3).unwrap().total_secs;
+        let tl = Executor::new(sys).run(&large, 3).unwrap().total_secs;
+        prop_assert!(tl >= ts * 0.99, "{tl} vs {ts}");
+    }
+
+    /// Part-time placement never changes the billed-instance arithmetic:
+    /// dedicated always bills more instances for the same cluster shape.
+    #[test]
+    fn dedicated_always_bills_more_instances(
+        nprocs in prop::sample::select(vec![64usize, 128, 256]),
+        servers in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let d = system(FsConfig::pvfs2(mib(4.0)), servers, Placement::Dedicated, DeviceKind::Ephemeral, nprocs);
+        let p = system(FsConfig::pvfs2(mib(4.0)), servers, Placement::PartTime, DeviceKind::Ephemeral, nprocs);
+        prop_assert_eq!(
+            d.cluster.total_instances(),
+            p.cluster.total_instances() + servers
+        );
+    }
+
+    /// NFS write-cache absorption never makes a *larger* write faster.
+    #[test]
+    fn nfs_write_time_monotone_in_volume(per_proc in 8.0f64..256.0) {
+        let sys = system(FsConfig::nfs(), 1, Placement::Dedicated, DeviceKind::Ebs, 64);
+        let small = workload(64, per_proc, IoOp::Write, false, 1);
+        let large = workload(64, per_proc * 2.0, IoOp::Write, false, 1);
+        let ts = Executor::new(sys).run(&small, 4).unwrap().total_secs;
+        let tl = Executor::new(sys).run(&large, 4).unwrap().total_secs;
+        prop_assert!(tl >= ts * 0.99, "{tl} vs {ts}");
+    }
+
+    /// Random access is never faster than sequential access for the same
+    /// workload, on any file system or device.
+    #[test]
+    fn random_access_never_beats_sequential(
+        per_proc in 16.0f64..128.0,
+        device in prop::sample::select(vec![DeviceKind::Ephemeral, DeviceKind::Ebs, DeviceKind::Ssd]),
+        read in prop::bool::ANY,
+        servers in prop::sample::select(vec![1usize, 4]),
+    ) {
+        let op = if read { IoOp::Read } else { IoOp::Write };
+        let mk = |access| {
+            let io = acic_fsim::IoPhase {
+                io_procs: 64,
+                access,
+                per_proc_bytes: mib(per_proc),
+                request_size: mib(1.0),
+                op,
+                collective: false,
+                shared_file: false,
+                api: IoApi::Posix,
+            };
+            Workload::new(64, vec![Phase::Io(io)])
+        };
+        let sys = system(FsConfig::pvfs2(mib(4.0)), servers, Placement::Dedicated, device, 64);
+        let t_seq = Executor::new(sys).run(&mk(acic_fsim::Access::Sequential), 6).unwrap().total_secs;
+        let t_rand = Executor::new(sys).run(&mk(acic_fsim::Access::Random), 6).unwrap().total_secs;
+        prop_assert!(t_rand >= t_seq * 0.999, "random {t_rand} vs sequential {t_seq}");
+    }
+
+    /// The seek penalty is worst on spinning media and mild on SSDs.
+    #[test]
+    fn random_penalty_ordered_by_medium(per_proc in 64.0f64..256.0) {
+        let ratio = |device| {
+            let mk = |access| {
+                let io = acic_fsim::IoPhase {
+                    io_procs: 64,
+                    access,
+                    per_proc_bytes: mib(per_proc),
+                    request_size: mib(1.0),
+                    op: IoOp::Read,
+                    collective: false,
+                    shared_file: false,
+                    api: IoApi::Posix,
+                };
+                Workload::new(64, vec![Phase::Io(io)])
+            };
+            let sys = system(FsConfig::pvfs2(mib(4.0)), 1, Placement::Dedicated, device, 64);
+            let seq = Executor::new(sys).run(&mk(acic_fsim::Access::Sequential), 2).unwrap().total_secs;
+            let rand = Executor::new(sys).run(&mk(acic_fsim::Access::Random), 2).unwrap().total_secs;
+            rand / seq
+        };
+        let hdd = ratio(DeviceKind::Ephemeral);
+        let ssd = ratio(DeviceKind::Ssd);
+        prop_assert!(hdd > ssd, "HDD penalty {hdd:.2} should exceed SSD penalty {ssd:.2}");
+    }
+
+    /// Stripe size only matters for PVFS2 — NFS results are identical
+    /// whatever stripe value rides along in the config.
+    #[test]
+    fn nfs_ignores_stripe_size(per_proc in 8.0f64..64.0, seed in 0u64..50) {
+        let w = workload(64, per_proc, IoOp::Write, false, 2);
+        let a = Executor::new(system(FsConfig::nfs(), 1, Placement::Dedicated, DeviceKind::Ephemeral, 64))
+            .run(&w, seed).unwrap();
+        let mut cfg = FsConfig::nfs();
+        cfg.stripe_size = mib(4.0); // bogus value must be ignored
+        let b = Executor::new(system(cfg, 1, Placement::Dedicated, DeviceKind::Ephemeral, 64))
+            .run(&w, seed).unwrap();
+        prop_assert_eq!(a.total_secs, b.total_secs);
+    }
+}

@@ -1,0 +1,174 @@
+//! IOR command-line compatibility: parse the classic `IOR` option string
+//! into an [`IorConfig`], so recipes written for the real benchmark (the
+//! paper trained with "the synthetic yet expressive parallel I/O benchmark
+//! IOR") drive the simulated one unchanged.
+//!
+//! Supported options (the subset ACIC's training uses):
+//!
+//! ```text
+//! -a API        POSIX | MPIIO | HDF5 | NCMPI
+//! -b SIZE       block size per task per iteration (data size), e.g. 16m, 1g
+//! -t SIZE       transfer size (request size), e.g. 256k, 4m
+//! -i N          repetitions (iteration count)
+//! -w / -r       write / read (last one wins as the phase type)
+//! -c            collective I/O
+//! -F            file-per-process (absence = shared file)
+//! -z            random task ordering ≈ random access (our extension)
+//! -N/-n N       number of tasks
+//! ```
+
+use crate::config::IorConfig;
+use acic_fsim::{Access, IoApi, IoOp};
+
+/// Parse a size literal like `256k`, `4m`, `1g`, or plain bytes.
+pub fn parse_size(s: &str) -> Result<f64, String> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 1024.0),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 1024.0 * 1024.0),
+        Some('g') | Some('G') => (&s[..s.len() - 1], 1024.0 * 1024.0 * 1024.0),
+        _ => (s, 1.0),
+    };
+    let v: f64 = num.parse().map_err(|_| format!("invalid size literal {s:?}"))?;
+    if v <= 0.0 {
+        return Err(format!("size must be positive: {s:?}"));
+    }
+    Ok(v * mult)
+}
+
+/// Parse an IOR-style option string into a configuration.  Unknown flags
+/// are rejected (typos in benchmark scripts should not silently change the
+/// workload).
+pub fn parse_ior_args(args: &str) -> Result<IorConfig, String> {
+    // Start from IOR's own defaults (POSIX, 1 MiB blocks, 256 KiB
+    // transfers, one repetition, independent writes to a shared file).
+    let mut cfg = IorConfig {
+        nprocs: 64,
+        io_procs: 64,
+        api: IoApi::Posix,
+        iterations: 1,
+        data_size: 1024.0 * 1024.0,
+        request_size: 256.0 * 1024.0,
+        op: IoOp::Write,
+        collective: false,
+        shared_file: true,
+        access: Access::Sequential,
+    };
+    let mut shared = true;
+    let mut tokens = args.split_whitespace().peekable();
+
+    let mut value = |tokens: &mut std::iter::Peekable<std::str::SplitWhitespace>,
+                     flag: &str|
+     -> Result<String, String> {
+        tokens
+            .next()
+            .map(str::to_string)
+            .ok_or_else(|| format!("flag {flag} needs a value"))
+    };
+
+    while let Some(tok) = tokens.next() {
+        match tok {
+            "-a" => {
+                cfg.api = match value(&mut tokens, "-a")?.to_ascii_uppercase().as_str() {
+                    "POSIX" => IoApi::Posix,
+                    "MPIIO" => IoApi::MpiIo,
+                    "HDF5" => IoApi::Hdf5,
+                    "NCMPI" => IoApi::NetCdf,
+                    other => return Err(format!("unknown API {other:?}")),
+                };
+            }
+            "-b" => cfg.data_size = parse_size(&value(&mut tokens, "-b")?)?,
+            "-t" => cfg.request_size = parse_size(&value(&mut tokens, "-t")?)?,
+            "-i" => {
+                cfg.iterations = value(&mut tokens, "-i")?
+                    .parse()
+                    .map_err(|_| "invalid -i value".to_string())?;
+            }
+            "-N" | "-n" => {
+                let n: usize = value(&mut tokens, tok)?
+                    .parse()
+                    .map_err(|_| format!("invalid {tok} value"))?;
+                cfg.nprocs = n;
+                cfg.io_procs = n;
+            }
+            "-w" => cfg.op = IoOp::Write,
+            "-r" => cfg.op = IoOp::Read,
+            "-c" => cfg.collective = true,
+            "-F" => shared = false,
+            "-z" => cfg.access = Access::Random,
+            other => return Err(format!("unsupported IOR option {other:?}")),
+        }
+    }
+    cfg.shared_file = shared;
+    // POSIX cannot do collective; IOR itself would reject the combination.
+    if cfg.collective && !cfg.api.supports_collective() {
+        return Err("collective (-c) requires an MPI-IO-based API".into());
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_cloudsim::units::mib;
+
+    #[test]
+    fn parses_a_typical_training_line() {
+        let cfg = parse_ior_args("-a MPIIO -b 16m -t 4m -i 10 -w -c -N 64").unwrap();
+        assert_eq!(cfg.api, IoApi::MpiIo);
+        assert_eq!(cfg.data_size, mib(16.0));
+        assert_eq!(cfg.request_size, mib(4.0));
+        assert_eq!(cfg.iterations, 10);
+        assert_eq!(cfg.op, IoOp::Write);
+        assert!(cfg.collective);
+        assert!(cfg.shared_file);
+        assert_eq!(cfg.nprocs, 64);
+    }
+
+    #[test]
+    fn file_per_process_and_read_mode() {
+        let cfg = parse_ior_args("-a POSIX -b 1g -t 1m -r -F -n 32").unwrap();
+        assert!(!cfg.shared_file);
+        assert_eq!(cfg.op, IoOp::Read);
+        assert_eq!(cfg.data_size, 1024.0 * 1024.0 * 1024.0);
+    }
+
+    #[test]
+    fn random_access_extension_flag() {
+        let cfg = parse_ior_args("-a POSIX -b 64m -t 1m -r -z").unwrap();
+        assert_eq!(cfg.access, Access::Random);
+        let cfg = parse_ior_args("-a POSIX -b 64m -t 1m -r").unwrap();
+        assert_eq!(cfg.access, Access::Sequential);
+    }
+
+    #[test]
+    fn size_literals() {
+        assert_eq!(parse_size("256k").unwrap(), 262144.0);
+        assert_eq!(parse_size("4M").unwrap(), 4194304.0);
+        assert_eq!(parse_size("2g").unwrap(), 2147483648.0);
+        assert_eq!(parse_size("12345").unwrap(), 12345.0);
+        assert!(parse_size("banana").is_err());
+        assert!(parse_size("-4m").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_and_invalid_combinations() {
+        assert!(parse_ior_args("-q 5").is_err(), "unknown flag");
+        assert!(parse_ior_args("-b").is_err(), "missing value");
+        assert!(parse_ior_args("-a POSIX -c -b 16m -t 4m").is_err(), "POSIX collective");
+        assert!(parse_ior_args("-a MPIIO -b 1m -t 16m -w").is_err(), "request > data");
+    }
+
+    #[test]
+    fn empty_line_gives_ior_defaults() {
+        let cfg = parse_ior_args("").unwrap();
+        assert_eq!(cfg.api, IoApi::Posix);
+        assert_eq!(cfg.iterations, 1);
+        assert_eq!(cfg.data_size, 1024.0 * 1024.0);
+        assert_eq!(cfg.request_size, 256.0 * 1024.0);
+        assert!(!cfg.collective);
+        assert!(cfg.shared_file);
+        assert!(cfg.validate().is_ok());
+    }
+}

@@ -1,0 +1,170 @@
+//! The IOR-style benchmark configuration: the application half of the
+//! Table 1 exploration space.
+
+use acic_fsim::{IoApi, IoOp, IoPhase, Phase, Workload};
+
+/// A synthetic benchmark run description (paper §3.2's nine application
+/// I/O-characteristic parameters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IorConfig {
+    /// Total number of processes (Table 1: {32, 64, 128, 256}).
+    pub nprocs: usize,
+    /// Processes performing I/O simultaneously ({32, 64, 128, 256}).
+    pub io_procs: usize,
+    /// I/O interface ({POSIX, MPI-IO} in training; HDF5/netCDF supported).
+    pub api: IoApi,
+    /// Number of I/O iterations ({1, 10, 100}).
+    pub iterations: usize,
+    /// Bytes each I/O process moves per iteration ({1..512} MB).
+    pub data_size: f64,
+    /// Bytes per I/O call ({256 KB, 4 MB, 16 MB, 128 MB}).
+    pub request_size: f64,
+    /// Read or write.
+    pub op: IoOp,
+    /// Collective I/O on/off.
+    pub collective: bool,
+    /// Single shared file (true) vs per-process files (false).
+    pub shared_file: bool,
+    /// Access spatiality (our IOR extension beyond Table 1; the paper
+    /// notes IOR "may need to be expanded if an application has I/O
+    /// features that it does not test", §2).
+    pub access: acic_fsim::Access,
+}
+
+impl IorConfig {
+    /// Validate the configuration: the constraints of paper §3.3 ("request
+    /// size cannot be greater than data size") plus basic sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nprocs == 0 {
+            return Err("nprocs must be positive".into());
+        }
+        if self.io_procs == 0 || self.io_procs > self.nprocs {
+            return Err(format!(
+                "io_procs must be in 1..={}, got {}",
+                self.nprocs, self.io_procs
+            ));
+        }
+        if self.iterations == 0 {
+            return Err("iterations must be positive".into());
+        }
+        if !(self.data_size.is_finite() && self.data_size > 0.0) {
+            return Err(format!("data_size must be positive, got {}", self.data_size));
+        }
+        if !(self.request_size.is_finite() && self.request_size > 0.0) {
+            return Err(format!("request_size must be positive, got {}", self.request_size));
+        }
+        if self.request_size > self.data_size {
+            return Err(format!(
+                "request size {} exceeds data size {}",
+                self.request_size, self.data_size
+            ));
+        }
+        if self.collective && !self.api.supports_collective() {
+            return Err(format!("collective I/O is not available on {}", self.api));
+        }
+        Ok(())
+    }
+
+    /// Expand into a phase-level workload: `iterations` I/O bursts,
+    /// back-to-back (IOR performs no computation between iterations).
+    pub fn workload(&self) -> Workload {
+        let io = IoPhase {
+            io_procs: self.io_procs,
+            access: self.access,
+            per_proc_bytes: self.data_size,
+            request_size: self.request_size,
+            op: self.op,
+            collective: self.collective,
+            shared_file: self.shared_file,
+            api: self.api,
+        };
+        Workload::new(self.nprocs, vec![Phase::Io(io); self.iterations])
+    }
+
+    /// Total bytes the benchmark moves.
+    pub fn total_bytes(&self) -> f64 {
+        self.data_size * self.io_procs as f64 * self.iterations as f64
+    }
+}
+
+impl Default for IorConfig {
+    /// A mid-range smoke configuration (not a Table 1 sample point).
+    fn default() -> Self {
+        use acic_cloudsim::units::mib;
+        Self {
+            nprocs: 64,
+            io_procs: 64,
+            api: IoApi::MpiIo,
+            iterations: 10,
+            data_size: mib(16.0),
+            request_size: mib(4.0),
+            op: IoOp::Write,
+            collective: true,
+            shared_file: true,
+            access: acic_fsim::Access::Sequential,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_cloudsim::units::mib;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(IorConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn request_larger_than_data_rejected() {
+        let cfg = IorConfig {
+            data_size: mib(1.0),
+            request_size: mib(4.0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn io_procs_bounded_by_nprocs() {
+        let cfg = IorConfig { nprocs: 32, io_procs: 64, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = IorConfig { nprocs: 32, io_procs: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn collective_posix_rejected() {
+        let cfg = IorConfig { api: IoApi::Posix, collective: true, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = IorConfig { api: IoApi::Posix, collective: false, ..Default::default() };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn workload_has_one_phase_per_iteration() {
+        let cfg = IorConfig { iterations: 7, ..Default::default() };
+        let w = cfg.workload();
+        assert_eq!(w.phases.len(), 7);
+        assert_eq!(w.io_phase_count(), 7);
+        assert_eq!(w.nprocs, 64);
+    }
+
+    #[test]
+    fn total_bytes_accounts_iterations_and_procs() {
+        let cfg = IorConfig {
+            iterations: 10,
+            io_procs: 64,
+            data_size: mib(16.0),
+            ..Default::default()
+        };
+        assert_eq!(cfg.total_bytes(), 10.0 * 64.0 * mib(16.0));
+    }
+
+    #[test]
+    fn zero_iterations_rejected() {
+        let cfg = IorConfig { iterations: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! # acic-iobench — an IOR workalike for reusable training
+//!
+//! ACIC trains on the synthetic IOR benchmark because it is "generic,
+//! highly configurable, and open-source" and "can be configured to mimic
+//! different applications' I/O behavior" (paper §2, §3.2).  This crate is
+//! the equivalent for the simulated cloud: an [`IorConfig`] carries exactly
+//! the nine application-characteristic parameters of Table 1, expands into
+//! a [`acic_fsim::Workload`], and [`run_ior`] executes it on a configured
+//! I/O system, reporting time, aggregate bandwidth, and monetary cost.
+
+pub mod cli_compat;
+pub mod config;
+pub mod report;
+pub mod runner;
+
+pub use cli_compat::{parse_ior_args, parse_size};
+pub use config::IorConfig;
+pub use report::IorReport;
+pub use runner::run_ior;

@@ -1,0 +1,45 @@
+//! Benchmark run reports.
+
+use acic_fsim::RunOutcome;
+
+/// Result of one IOR run on one I/O system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IorReport {
+    /// The underlying phase-level outcome.
+    pub outcome: RunOutcome,
+    /// Aggregate achieved bandwidth, bytes/second (total bytes ÷ I/O time).
+    pub bandwidth_bps: f64,
+    /// Monetary cost of the run by the paper's eq. (1), USD.
+    pub cost: f64,
+    /// Billed instance count.
+    pub instances: usize,
+}
+
+impl IorReport {
+    /// Execution time in seconds (the paper's performance metric).
+    pub fn secs(&self) -> f64 {
+        self.outcome.total_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_mirrors_outcome() {
+        let r = IorReport {
+            outcome: RunOutcome {
+                total_secs: 12.5,
+                io_secs: 12.5,
+                compute_secs: 0.0,
+                phase_secs: vec![12.5],
+                faults: 0,
+            },
+            bandwidth_bps: 1e9,
+            cost: 0.1,
+            instances: 4,
+        };
+        assert_eq!(r.secs(), 12.5);
+    }
+}

@@ -1,0 +1,102 @@
+//! Execute an IOR configuration on an I/O system.
+
+use crate::config::IorConfig;
+use crate::report::IorReport;
+use acic_cloudsim::error::CloudSimError;
+use acic_cloudsim::pricing::CostModel;
+use acic_fsim::{Executor, IoSystem};
+
+/// Run `cfg` on `system` with the given seed.
+///
+/// Returns [`CloudSimError::InvalidCluster`] for invalid benchmark
+/// configurations so callers can treat configuration and cluster errors
+/// uniformly when sweeping large spaces.
+pub fn run_ior(system: &IoSystem, cfg: &IorConfig, seed: u64) -> Result<IorReport, CloudSimError> {
+    cfg.validate().map_err(CloudSimError::InvalidCluster)?;
+    let outcome = Executor::new(*system).run(&cfg.workload(), seed)?;
+    let instances = system.cluster.total_instances();
+    let cost = CostModel::default().linear_cost(
+        outcome.total_secs,
+        instances,
+        system.cluster.instance_type,
+    );
+    let bandwidth_bps = if outcome.io_secs > 0.0 {
+        cfg.total_bytes() / outcome.io_secs
+    } else {
+        0.0
+    };
+    Ok(IorReport { outcome, bandwidth_bps, cost, instances })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_cloudsim::cluster::{ClusterSpec, Placement};
+    use acic_cloudsim::device::DeviceKind;
+    use acic_cloudsim::instance::InstanceType;
+    use acic_cloudsim::raid::Raid0;
+    use acic_cloudsim::units::mib;
+    use acic_fsim::{FsConfig, IoOp};
+
+    fn system(fs: FsConfig, io_servers: usize, placement: Placement) -> IoSystem {
+        IoSystem {
+            cluster: ClusterSpec::for_procs(
+                InstanceType::Cc2_8xlarge,
+                64,
+                io_servers,
+                placement,
+                Raid0::new(DeviceKind::Ephemeral, 4),
+            ),
+            fs,
+        }
+    }
+
+    #[test]
+    fn runs_and_reports_cost_and_bandwidth() {
+        let sys = system(FsConfig::pvfs2(mib(4.0)), 4, Placement::Dedicated);
+        let rep = run_ior(&sys, &IorConfig::default(), 1).unwrap();
+        assert!(rep.secs() > 0.0);
+        assert!(rep.bandwidth_bps > 0.0);
+        assert!(rep.cost > 0.0);
+        assert_eq!(rep.instances, 8, "4 compute + 4 dedicated I/O instances");
+    }
+
+    #[test]
+    fn parttime_is_cheaper_per_second() {
+        let cfg = IorConfig::default();
+        let ded = run_ior(&system(FsConfig::pvfs2(mib(4.0)), 4, Placement::Dedicated), &cfg, 1)
+            .unwrap();
+        let part = run_ior(&system(FsConfig::pvfs2(mib(4.0)), 4, Placement::PartTime), &cfg, 1)
+            .unwrap();
+        assert_eq!(part.instances, 4);
+        let ded_rate = ded.cost / ded.secs();
+        let part_rate = part.cost / part.secs();
+        assert!(part_rate < ded_rate, "fewer instances, lower $/s");
+    }
+
+    #[test]
+    fn invalid_config_is_reported_as_error() {
+        let sys = system(FsConfig::nfs(), 1, Placement::Dedicated);
+        let bad = IorConfig { request_size: mib(64.0), data_size: mib(1.0), ..Default::default() };
+        assert!(run_ior(&sys, &bad, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sys = system(FsConfig::pvfs2(mib(4.0)), 2, Placement::Dedicated);
+        let a = run_ior(&sys, &IorConfig::default(), 11).unwrap();
+        let b = run_ior(&sys, &IorConfig::default(), 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reads_are_slower_than_cached_writes_on_nfs() {
+        // Cold reads must come off the device; async writes are absorbed.
+        let sys = system(FsConfig::nfs(), 1, Placement::Dedicated);
+        let wr = IorConfig { op: IoOp::Write, collective: false, ..Default::default() };
+        let rd = IorConfig { op: IoOp::Read, collective: false, ..Default::default() };
+        let t_wr = run_ior(&sys, &wr, 5).unwrap().secs();
+        let t_rd = run_ior(&sys, &rd, 5).unwrap().secs();
+        assert!(t_rd > t_wr, "cold read {t_rd} vs cached write {t_wr}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Mapping design levels (±1) onto concrete parameter values.
+//!
+//! "This parameter will use a 'high' value if A(i,j) is '+1', and a 'low'
+//! one if otherwise.  The 'high' and 'low' values are selected to be at the
+//! two ends of the parameter value range" (paper §4.1).
+
+use crate::matrix::PbMatrix;
+
+/// A two-level setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// The low end of the parameter's value range (−1).
+    Low,
+    /// The high end of the parameter's value range (+1).
+    High,
+}
+
+impl Level {
+    /// Convert a ±1 matrix entry.
+    pub fn from_sign(sign: i8) -> Self {
+        if sign > 0 {
+            Level::High
+        } else {
+            Level::Low
+        }
+    }
+
+    /// Pick from a `(low, high)` pair.
+    pub fn pick<T: Copy>(self, low: T, high: T) -> T {
+        match self {
+            Level::Low => low,
+            Level::High => high,
+        }
+    }
+}
+
+/// Assignment of `(low, high)` values to every parameter of a design.
+#[derive(Debug, Clone)]
+pub struct Assignment<T: Copy> {
+    /// `(low, high)` per parameter, in column order.
+    pub levels: Vec<(T, T)>,
+}
+
+impl<T: Copy> Assignment<T> {
+    /// New assignment; one `(low, high)` pair per screened parameter.
+    pub fn new(levels: Vec<(T, T)>) -> Self {
+        Self { levels }
+    }
+
+    /// Concrete parameter values for design row `run`.
+    pub fn values_for_run(&self, matrix: &PbMatrix, run: usize) -> Vec<T> {
+        assert_eq!(
+            self.levels.len(),
+            matrix.n_params,
+            "assignment must cover every design column"
+        );
+        matrix.entries[run]
+            .iter()
+            .zip(&self.levels)
+            .map(|(&sign, &(lo, hi))| Level::from_sign(sign).pick(lo, hi))
+            .collect()
+    }
+
+    /// The levels (not values) of design row `run`.
+    pub fn levels_for_run(matrix: &PbMatrix, run: usize) -> Vec<Level> {
+        matrix.entries[run].iter().map(|&s| Level::from_sign(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_conversion() {
+        assert_eq!(Level::from_sign(1), Level::High);
+        assert_eq!(Level::from_sign(-1), Level::Low);
+        assert_eq!(Level::High.pick(3, 9), 9);
+        assert_eq!(Level::Low.pick(3, 9), 3);
+    }
+
+    #[test]
+    fn values_follow_matrix_signs() {
+        let m = PbMatrix::new(5);
+        let a = Assignment::new(vec![(0, 1); 5]);
+        for run in 0..m.n_runs() {
+            let vals = a.values_for_run(&m, run);
+            for (j, v) in vals.iter().enumerate() {
+                assert_eq!(*v, if m.entries[run][j] > 0 { 1 } else { 0 });
+            }
+        }
+    }
+
+    #[test]
+    fn levels_for_run_matches_signs() {
+        let m = PbMatrix::new(3);
+        let lv = Assignment::<i32>::levels_for_run(&m, m.n_runs() - 1);
+        assert_eq!(lv, vec![Level::Low; 3], "final PB row is all-low");
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every design column")]
+    fn wrong_arity_panics() {
+        let m = PbMatrix::new(5);
+        let a = Assignment::new(vec![(0, 1); 3]);
+        let _ = a.values_for_run(&m, 0);
+    }
+
+    #[test]
+    fn works_with_float_ranges() {
+        let m = PbMatrix::new(3);
+        let a = Assignment::new(vec![(1.0, 512.0), (0.25, 128.0), (1.0, 100.0)]);
+        let vals = a.values_for_run(&m, m.n_runs() - 1);
+        assert_eq!(vals, vec![1.0, 0.25, 1.0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Effect computation and importance ranking.
+//!
+//! "After the runs are completed, the importance ('effect') of the jth
+//! parameter is calculated as the dot product of the jth column in A ...
+//! and the result column ... The sign of the result is meaningless when
+//! ranking the parameters" (paper §4.1).
+
+use crate::matrix::PbMatrix;
+
+/// The screened effect of one parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Effect {
+    /// Parameter (column) index.
+    pub param: usize,
+    /// Signed dot product of the ±1 column with the response column.
+    pub effect: f64,
+    /// Importance rank: 1 = largest `|effect|`.
+    pub rank: usize,
+}
+
+/// Compute all effects and assign ranks (1 = most important).  Ties break
+/// by parameter index so the ranking is deterministic.
+pub fn rank_by_effect(matrix: &PbMatrix, responses: &[f64]) -> Vec<Effect> {
+    assert_eq!(
+        responses.len(),
+        matrix.n_runs(),
+        "one response per design row required"
+    );
+    let mut effects: Vec<Effect> = (0..matrix.n_params)
+        .map(|j| {
+            let effect = matrix
+                .entries
+                .iter()
+                .zip(responses)
+                .map(|(row, &y)| f64::from(row[j]) * y)
+                .sum();
+            Effect { param: j, effect, rank: 0 }
+        })
+        .collect();
+
+    let mut order: Vec<usize> = (0..effects.len()).collect();
+    order.sort_by(|&a, &b| {
+        effects[b]
+            .effect
+            .abs()
+            .total_cmp(&effects[a].effect.abs())
+            .then(a.cmp(&b))
+    });
+    for (rank0, &idx) in order.iter().enumerate() {
+        effects[idx].rank = rank0 + 1;
+    }
+    effects
+}
+
+/// Parameter indices ordered most- to least-important.
+pub fn importance_order(effects: &[Effect]) -> Vec<usize> {
+    let mut by_rank = effects.to_vec();
+    by_rank.sort_by_key(|e| e.rank);
+    by_rank.into_iter().map(|e| e.param).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 2 example verbatim: N = 5 parameters, N′ = 8 runs.
+    fn table2() -> (PbMatrix, Vec<f64>) {
+        let rows: Vec<Vec<i8>> = vec![
+            vec![1, 1, 1, -1, 1],
+            vec![-1, 1, 1, 1, -1],
+            vec![-1, -1, 1, 1, 1],
+            vec![1, -1, -1, 1, 1],
+            vec![-1, 1, -1, -1, 1],
+            vec![1, -1, 1, -1, -1],
+            vec![1, 1, -1, 1, -1],
+            vec![-1, -1, -1, -1, -1],
+        ];
+        let m = PbMatrix { n_params: 5, entries: rows };
+        let perf = vec![19.0, 21.0, 2.0, 11.0, 72.0, 100.0, 8.0, 3.0];
+        (m, perf)
+    }
+
+    #[test]
+    fn reproduces_paper_table2_effects() {
+        let (m, perf) = table2();
+        let effects = rank_by_effect(&m, &perf);
+        let abs: Vec<f64> = effects.iter().map(|e| e.effect.abs()).collect();
+        assert_eq!(abs, vec![40.0, 4.0, 48.0, 152.0, 28.0]);
+    }
+
+    #[test]
+    fn reproduces_paper_table2_ranks() {
+        let (m, perf) = table2();
+        let effects = rank_by_effect(&m, &perf);
+        let ranks: Vec<usize> = effects.iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![3, 5, 2, 1, 4], "Table 2's rank row: A=3 B=5 C=2 D=1 E=4");
+    }
+
+    #[test]
+    fn importance_order_follows_ranks() {
+        let (m, perf) = table2();
+        let effects = rank_by_effect(&m, &perf);
+        assert_eq!(importance_order(&effects), vec![3, 2, 0, 4, 1]);
+    }
+
+    #[test]
+    fn constant_response_gives_zero_effects() {
+        let m = PbMatrix::new(7);
+        let effects = rank_by_effect(&m, &vec![5.0; m.n_runs()]);
+        for e in &effects {
+            // Balanced columns: a constant response cancels exactly.
+            assert_eq!(e.effect, 0.0);
+        }
+        // Ties break by index → ranks are 1..=7 in column order.
+        let ranks: Vec<usize> = effects.iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn planted_single_factor_is_ranked_first() {
+        // Response depends only on parameter 4: the screen must find it.
+        let m = PbMatrix::new(11);
+        let responses: Vec<f64> = m
+            .entries
+            .iter()
+            .map(|row| if row[4] > 0 { 100.0 } else { 10.0 })
+            .collect();
+        let effects = rank_by_effect(&m, &responses);
+        assert_eq!(effects[4].rank, 1);
+    }
+
+    #[test]
+    fn planted_factor_ordering_is_recovered() {
+        // Linear model with decreasing coefficients: ranks must follow.
+        let m = PbMatrix::new(7);
+        let coef = [64.0, 32.0, 16.0, 8.0, 4.0, 2.0, 1.0];
+        let responses: Vec<f64> = m
+            .entries
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&coef)
+                    .map(|(&e, &c)| f64::from(e) * c)
+                    .sum::<f64>()
+            })
+            .collect();
+        let effects = rank_by_effect(&m, &responses);
+        let ranks: Vec<usize> = effects.iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one response per design row")]
+    fn response_length_must_match() {
+        let m = PbMatrix::new(5);
+        let _ = rank_by_effect(&m, &[1.0, 2.0]);
+    }
+}

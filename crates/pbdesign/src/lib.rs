@@ -1,0 +1,35 @@
+//! # acic-pbdesign — Plackett–Burman experiment designs
+//!
+//! ACIC's dimension reducer (paper §4.1) uses Plackett–Burman (PB) designs
+//! [Plackett & Burman, *Biometrika* 1946] to rank the 15 parameters of its
+//! exploration space with only ~N measurement runs instead of a factorial
+//! sweep.  This crate implements:
+//!
+//! * construction of the standard two-level PB matrices for N′ ∈ {8, 12,
+//!   16, 20, 24} runs via the published cyclic generator rows
+//!   ([`matrix`]);
+//! * the *foldover* variant, which appends the sign-flipped matrix and
+//!   doubles the run count to 2·N′, separating main effects from two-factor
+//!   interactions — the variant ACIC adopts following Yi et al. [53]
+//!   ([`foldover`]);
+//! * effect computation (dot product of a parameter's ±1 column with the
+//!   response column) and importance ranking ([`effect`]);
+//! * mapping of ±1 levels onto concrete parameter values ([`assign`]); and
+//! * an end-to-end screening harness that runs a measurement closure over
+//!   every design row and returns the ranking ([`screening`]).
+//!
+//! The worked example of the paper's Table 2 (N = 5, N′ = 8) is reproduced
+//! verbatim in this crate's tests and by the `table2_pb_example` binary of
+//! `acic-bench`.
+
+pub mod assign;
+pub mod effect;
+pub mod foldover;
+pub mod matrix;
+pub mod screening;
+
+pub use assign::{Assignment, Level};
+pub use effect::{rank_by_effect, Effect};
+pub use foldover::foldover;
+pub use matrix::PbMatrix;
+pub use screening::{screen, Screening};

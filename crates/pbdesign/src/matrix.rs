@@ -1,0 +1,182 @@
+//! Construction of two-level Plackett–Burman matrices.
+//!
+//! For run counts N′ ∈ {8, 12, 16, 20, 24} the design is generated from the
+//! first rows published by Plackett & Burman (1946): row *i* of the first
+//! N′−1 rows is the generator cyclically shifted by *i*, and the final row
+//! is all −1.  Columns beyond the number of screened parameters are simply
+//! dropped (they estimate nothing).
+
+/// A (possibly folded-over) PB design matrix with entries ±1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PbMatrix {
+    /// Number of screened parameters (columns).
+    pub n_params: usize,
+    /// Row-major entries, each +1 or −1; `rows × n_params`.
+    pub entries: Vec<Vec<i8>>,
+}
+
+/// Published cyclic generator rows ('+' = +1, '-' = −1).
+fn generator(n_runs: usize) -> Option<&'static str> {
+    match n_runs {
+        8 => Some("+++-+--"),
+        12 => Some("++-+++---+-"),
+        16 => Some("++++-+-++--+---"),
+        20 => Some("++--++++-+-+----++-"),
+        24 => Some("+++++-+-++--++--+-+----"),
+        _ => None,
+    }
+}
+
+impl PbMatrix {
+    /// The smallest PB run count (multiple of 4, ≥ 8, > `n_params`) that can
+    /// screen `n_params` parameters.
+    pub fn runs_for(n_params: usize) -> usize {
+        let mut n = ((n_params + 1).div_ceil(4) * 4).max(8);
+        while generator(n).is_none() {
+            n += 4;
+            assert!(n <= 24, "PB designs beyond 24 runs are not tabulated here");
+        }
+        n
+    }
+
+    /// Build the standard PB design for `n_params` parameters
+    /// (1 ≤ `n_params` ≤ 23).
+    pub fn new(n_params: usize) -> Self {
+        assert!(n_params >= 1, "need at least one parameter");
+        let n_runs = Self::runs_for(n_params);
+        let gen: Vec<i8> = generator(n_runs)
+            .expect("runs_for returned an untabulated size")
+            .bytes()
+            .map(|b| if b == b'+' { 1 } else { -1 })
+            .collect();
+        debug_assert_eq!(gen.len(), n_runs - 1);
+
+        let mut entries = Vec::with_capacity(n_runs);
+        for i in 0..n_runs - 1 {
+            // Row i = generator rotated right by i, truncated to n_params.
+            let row: Vec<i8> = (0..n_params)
+                .map(|j| gen[(j + gen.len() - i % gen.len()) % gen.len()])
+                .collect();
+            entries.push(row);
+        }
+        entries.push(vec![-1; n_params]); // final all-low run
+        Self { n_params, entries }
+    }
+
+    /// Number of measurement runs (rows).
+    pub fn n_runs(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The ±1 column of parameter `j`.
+    pub fn column(&self, j: usize) -> Vec<i8> {
+        self.entries.iter().map(|r| r[j]).collect()
+    }
+
+    /// Verify the defining property of a (full-width) PB design: every pair
+    /// of distinct columns is orthogonal (dot product 0).  Returns the
+    /// worst absolute pairwise dot product (0 for a proper design).
+    pub fn max_column_correlation(&self) -> i32 {
+        let mut worst = 0i32;
+        for a in 0..self.n_params {
+            for b in (a + 1)..self.n_params {
+                let dot: i32 = self
+                    .entries
+                    .iter()
+                    .map(|r| i32::from(r[a]) * i32::from(r[b]))
+                    .sum();
+                worst = worst.max(dot.abs());
+            }
+        }
+        worst
+    }
+}
+
+impl std::fmt::Display for PbMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, row) in self.entries.iter().enumerate() {
+            write!(f, "run {:>2}: ", i + 1)?;
+            for &e in row {
+                write!(f, "{} ", if e > 0 { "+1" } else { "-1" })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_for_picks_smallest_tabulated_multiple_of_four() {
+        assert_eq!(PbMatrix::runs_for(5), 8);
+        assert_eq!(PbMatrix::runs_for(7), 8);
+        assert_eq!(PbMatrix::runs_for(8), 12);
+        assert_eq!(PbMatrix::runs_for(11), 12);
+        assert_eq!(PbMatrix::runs_for(15), 16, "the paper's 15-D space needs N'=16");
+        assert_eq!(PbMatrix::runs_for(19), 20);
+        assert_eq!(PbMatrix::runs_for(23), 24);
+    }
+
+    #[test]
+    fn paper_space_needs_16_runs() {
+        let m = PbMatrix::new(15);
+        assert_eq!(m.n_runs(), 16);
+        assert_eq!(m.n_params, 15);
+    }
+
+    #[test]
+    fn all_tabulated_designs_are_orthogonal() {
+        for n_params in [7usize, 11, 15, 19, 23] {
+            let m = PbMatrix::new(n_params);
+            assert_eq!(
+                m.max_column_correlation(),
+                0,
+                "PB({}, {}) must have orthogonal columns",
+                n_params,
+                m.n_runs()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_designs_stay_orthogonal() {
+        // Dropping columns preserves pairwise orthogonality.
+        for n_params in [3usize, 5, 9, 13] {
+            let m = PbMatrix::new(n_params);
+            assert_eq!(m.max_column_correlation(), 0, "PB with {n_params} params");
+        }
+    }
+
+    #[test]
+    fn columns_are_balanced() {
+        // Each column has equal numbers of +1 and −1.
+        let m = PbMatrix::new(15);
+        for j in 0..15 {
+            let sum: i32 = m.column(j).iter().map(|&e| i32::from(e)).sum();
+            assert_eq!(sum, 0, "column {j} must be balanced");
+        }
+    }
+
+    #[test]
+    fn last_row_is_all_low() {
+        let m = PbMatrix::new(7);
+        assert!(m.entries.last().unwrap().iter().all(|&e| e == -1));
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = PbMatrix::new(3);
+        let s = m.to_string();
+        assert_eq!(s.lines().count(), 8);
+        assert!(s.contains("run  1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not tabulated")]
+    fn too_many_params_panics() {
+        let _ = PbMatrix::runs_for(24);
+    }
+}

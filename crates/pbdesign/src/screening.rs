@@ -1,0 +1,96 @@
+//! End-to-end screening: run a measurement over every design row, compute
+//! effects, and return the importance ranking.
+
+use crate::effect::{importance_order, rank_by_effect, Effect};
+use crate::foldover::foldover;
+use crate::matrix::PbMatrix;
+
+/// Result of a PB screening campaign.
+#[derive(Debug, Clone)]
+pub struct Screening {
+    /// The design that was executed (post-foldover if requested).
+    pub design: PbMatrix,
+    /// Response measured for each design row.
+    pub responses: Vec<f64>,
+    /// Effect and rank per parameter.
+    pub effects: Vec<Effect>,
+}
+
+impl Screening {
+    /// Parameter indices ordered most- to least-important.
+    pub fn importance_order(&self) -> Vec<usize> {
+        importance_order(&self.effects)
+    }
+
+    /// The rank (1 = most important) of parameter `j`.
+    pub fn rank_of(&self, j: usize) -> usize {
+        self.effects[j].rank
+    }
+}
+
+/// Screen `n_params` parameters by evaluating `measure` once per design
+/// row.  `measure` receives the ±1 signs of the row (callers map them to
+/// concrete values with [`crate::assign::Assignment`]).  With
+/// `use_foldover` the run count doubles, matching ACIC's choice
+/// (N = 15 → 32 runs).
+pub fn screen<F>(n_params: usize, use_foldover: bool, mut measure: F) -> Screening
+where
+    F: FnMut(&[i8]) -> f64,
+{
+    let base = PbMatrix::new(n_params);
+    let design = if use_foldover { foldover(&base) } else { base };
+    let responses: Vec<f64> = design.entries.iter().map(|row| measure(row)).collect();
+    let effects = rank_by_effect(&design, &responses);
+    Screening { design, responses, effects }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn screening_runs_expected_number_of_measurements() {
+        let mut calls = 0;
+        let s = screen(15, true, |_| {
+            calls += 1;
+            1.0
+        });
+        assert_eq!(calls, 32);
+        assert_eq!(s.responses.len(), 32);
+        assert_eq!(s.effects.len(), 15);
+    }
+
+    #[test]
+    fn screening_without_foldover_halves_runs() {
+        let mut calls = 0;
+        screen(15, false, |_| {
+            calls += 1;
+            1.0
+        });
+        assert_eq!(calls, 16);
+    }
+
+    #[test]
+    fn screening_identifies_dominant_parameters() {
+        // Response dominated by params 2 and 5; interaction noise on 0×1.
+        let s = screen(9, true, |row| {
+            200.0 * f64::from(row[2]) + 80.0 * f64::from(row[5])
+                + 15.0 * f64::from(row[0]) * f64::from(row[1])
+                + 5.0 * f64::from(row[7])
+        });
+        assert_eq!(s.rank_of(2), 1);
+        assert_eq!(s.rank_of(5), 2);
+        assert_eq!(s.importance_order()[0], 2);
+        assert_eq!(s.importance_order()[1], 5);
+    }
+
+    #[test]
+    fn foldover_protects_ranking_from_interactions() {
+        // A strong 0×1 interaction with a weak main effect on 3: under
+        // foldover the interaction cancels and 3 must rank first.
+        let s = screen(7, true, |row| {
+            500.0 * f64::from(row[0]) * f64::from(row[1]) + 10.0 * f64::from(row[3])
+        });
+        assert_eq!(s.rank_of(3), 1);
+    }
+}

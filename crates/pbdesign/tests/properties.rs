@@ -1,0 +1,105 @@
+//! Property-based tests of the Plackett–Burman machinery.
+
+use acic_pbdesign::effect::rank_by_effect;
+use acic_pbdesign::foldover::foldover;
+use acic_pbdesign::matrix::PbMatrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every truncation of every tabulated design keeps columns balanced
+    /// and mutually orthogonal.
+    #[test]
+    fn truncated_designs_stay_balanced_and_orthogonal(n_params in 2usize..=23) {
+        let m = PbMatrix::new(n_params);
+        prop_assert_eq!(m.max_column_correlation(), 0);
+        for j in 0..n_params {
+            let sum: i32 = m.column(j).iter().map(|&e| i32::from(e)).sum();
+            prop_assert_eq!(sum, 0, "column {} unbalanced", j);
+        }
+    }
+
+    /// A pure main-effects linear model is recovered exactly: the signed
+    /// effect of parameter j equals n_runs × its coefficient.
+    #[test]
+    fn linear_models_are_recovered_exactly(
+        n_params in 2usize..=15,
+        coefs in prop::collection::vec(-100.0f64..100.0, 15),
+    ) {
+        let m = PbMatrix::new(n_params);
+        let responses: Vec<f64> = m
+            .entries
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&coefs)
+                    .map(|(&e, &c)| f64::from(e) * c)
+                    .sum::<f64>()
+            })
+            .collect();
+        let effects = rank_by_effect(&m, &responses);
+        for e in &effects {
+            let expected = coefs[e.param] * m.n_runs() as f64;
+            prop_assert!((e.effect - expected).abs() < 1e-6 * expected.abs().max(1.0),
+                "param {}: effect {} vs expected {}", e.param, e.effect, expected);
+        }
+    }
+
+    /// Foldover always cancels every pure two-factor interaction.
+    #[test]
+    fn foldover_cancels_any_two_factor_interaction(
+        n_params in 3usize..=15,
+        a in 0usize..15,
+        b in 0usize..15,
+        weight in 1.0f64..100.0,
+    ) {
+        let a = a % n_params;
+        let b = b % n_params;
+        prop_assume!(a != b);
+        let f = foldover(&PbMatrix::new(n_params));
+        let responses: Vec<f64> = f
+            .entries
+            .iter()
+            .map(|row| f64::from(row[a]) * f64::from(row[b]) * weight)
+            .collect();
+        let effects = rank_by_effect(&f, &responses);
+        for e in &effects {
+            prop_assert!(e.effect.abs() < 1e-9,
+                "param {} contaminated: {}", e.param, e.effect);
+        }
+    }
+
+    /// Ranks are always a permutation of 1..=n, whatever the responses.
+    #[test]
+    fn ranks_are_always_a_permutation(
+        n_params in 1usize..=15,
+        responses in prop::collection::vec(-1e6f64..1e6, 32),
+    ) {
+        let m = PbMatrix::new(n_params);
+        let r: Vec<f64> = responses.into_iter().take(m.n_runs()).collect();
+        prop_assume!(r.len() == m.n_runs());
+        let effects = rank_by_effect(&m, &r);
+        let mut ranks: Vec<usize> = effects.iter().map(|e| e.rank).collect();
+        ranks.sort_unstable();
+        prop_assert_eq!(ranks, (1..=n_params).collect::<Vec<_>>());
+    }
+
+    /// Scaling all responses by a positive constant never changes ranks.
+    #[test]
+    fn ranking_is_scale_invariant(
+        n_params in 2usize..=11,
+        responses in prop::collection::vec(-1e3f64..1e3, 24),
+        scale in 0.001f64..1000.0,
+    ) {
+        let m = PbMatrix::new(n_params);
+        let r: Vec<f64> = responses.into_iter().take(m.n_runs()).collect();
+        prop_assume!(r.len() == m.n_runs());
+        let scaled: Vec<f64> = r.iter().map(|x| x * scale).collect();
+        let e1 = rank_by_effect(&m, &r);
+        let e2 = rank_by_effect(&m, &scaled);
+        for (a, b) in e1.iter().zip(&e2) {
+            prop_assert_eq!(a.rank, b.rank);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # acic-repro — umbrella crate for the ACIC (SC '13) reproduction
+//!
+//! Re-exports the whole workspace so the examples and integration tests
+//! under the repository root can reach every subsystem through one
+//! dependency.  See `README.md` for the tour and `DESIGN.md` for the
+//! system inventory.
+
+pub use acic;
+pub use acic_apps as apps;
+pub use acic_cart as cart;
+pub use acic_cloudsim as cloudsim;
+pub use acic_fsim as fsim;
+pub use acic_iobench as iobench;
+pub use acic_pbdesign as pbdesign;

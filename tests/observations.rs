@@ -1,0 +1,118 @@
+//! The paper's §5.6 "observations from training experience", asserted as
+//! integration tests over the simulated cloud (the `obs56_observations`
+//! binary prints the same checks).
+
+use acic_repro::acic::space::{SpacePoint, SystemConfig};
+use acic_repro::cloudsim::cluster::Placement;
+use acic_repro::cloudsim::device::DeviceKind;
+use acic_repro::cloudsim::units::{kib, mib};
+use acic_repro::fsim::fault::FaultPlan;
+use acic_repro::fsim::{Executor, FsType, IoApi, IoOp};
+use acic_repro::iobench::run_ior;
+
+const SEED: u64 = 0xCAFE;
+
+fn pvfs(device: DeviceKind, servers: usize, placement: Placement, stripe: f64) -> SystemConfig {
+    SystemConfig {
+        device,
+        fs: FsType::Pvfs2,
+        io_servers: servers,
+        placement,
+        stripe_size: stripe,
+        ..SystemConfig::baseline()
+    }
+}
+
+fn collective_writer() -> acic_repro::acic::AppPoint {
+    let mut app = SpacePoint::default_point().app;
+    app.collective = true;
+    app.data_size = mib(128.0);
+    app
+}
+
+#[test]
+fn obs1_parttime_more_cost_effective_for_aggregator_apps() {
+    let app = collective_writer();
+    let cost = |placement| {
+        let cfg = pvfs(DeviceKind::Ephemeral, 4, placement, mib(4.0));
+        run_ior(&cfg.to_io_system(app.nprocs), &app.to_ior(), SEED).unwrap().cost
+    };
+    assert!(
+        cost(Placement::PartTime) < cost(Placement::Dedicated),
+        "part-time servers ride free on compute instances and sit next to the aggregators"
+    );
+}
+
+#[test]
+fn obs2_more_pvfs_servers_improve_time_and_cost() {
+    let app = collective_writer();
+    let run = |servers| {
+        let cfg = pvfs(DeviceKind::Ephemeral, servers, Placement::Dedicated, mib(4.0));
+        let rep = run_ior(&cfg.to_io_system(app.nprocs), &app.to_ior(), SEED).unwrap();
+        (rep.secs(), rep.cost)
+    };
+    let (t1, c1) = run(1);
+    let (t2, c2) = run(2);
+    let (t4, c4) = run(4);
+    assert!(t4 < t2 && t2 < t1, "time: {t4} < {t2} < {t1}");
+    assert!(c4 < c1 && c2 < c1, "cost: 4 and 2 servers beat 1 ({c4}, {c2} vs {c1})");
+}
+
+#[test]
+fn obs3_ephemeral_beats_ebs_with_multiple_servers() {
+    let app = collective_writer();
+    let secs = |device, width| {
+        let mut cfg = pvfs(device, 4, Placement::Dedicated, mib(4.0));
+        cfg.device = device;
+        let _ = width;
+        run_ior(&cfg.to_io_system(app.nprocs), &app.to_ior(), SEED).unwrap().secs()
+    };
+    assert!(secs(DeviceKind::Ephemeral, 4) < secs(DeviceKind::Ebs, 2));
+}
+
+#[test]
+fn obs4_nfs_wins_small_posix_io() {
+    let mut app = SpacePoint::default_point().app;
+    app.api = IoApi::Posix;
+    app.collective = false;
+    app.data_size = mib(4.0);
+    app.request_size = kib(256.0);
+    app.iterations = 100;
+    app.shared_file = false;
+    app.op = IoOp::Write;
+
+    let nfs = SystemConfig { device: DeviceKind::Ephemeral, ..SystemConfig::baseline() };
+    let t_nfs = run_ior(&nfs.to_io_system(app.nprocs), &app.to_ior(), SEED).unwrap().secs();
+    for servers in [1usize, 2, 4] {
+        for stripe in [kib(64.0), mib(4.0)] {
+            let cfg = pvfs(DeviceKind::Ephemeral, servers, Placement::Dedicated, stripe);
+            let t = run_ior(&cfg.to_io_system(app.nprocs), &app.to_ior(), SEED).unwrap().secs();
+            assert!(
+                t_nfs < t,
+                "NFS ({t_nfs}s) must beat PVFS2-{servers}@{stripe} ({t}s) for small POSIX I/O"
+            );
+        }
+    }
+}
+
+#[test]
+fn obs5_connection_failures_happen_and_cost_time() {
+    let app = collective_writer();
+    let sys = pvfs(DeviceKind::Ephemeral, 4, Placement::Dedicated, mib(4.0))
+        .to_io_system(app.nprocs);
+    let faulty = Executor::new(sys).with_faults(FaultPlan::papers_observed_rate());
+    let clean = Executor::new(sys);
+    let mut faults = 0usize;
+    let mut extra = 0.0;
+    for seed in 0..300u64 {
+        let w = app.to_ior().workload();
+        let f = faulty.run(&w, seed).unwrap();
+        let c = clean.run(&w, seed).unwrap();
+        faults += f.faults;
+        extra += f.total_secs - c.total_secs;
+        assert!(f.total_secs >= c.total_secs);
+    }
+    // ~0.4% per phase over 300 runs × 10 phases ≈ a dozen failures.
+    assert!(faults > 0, "the observed failure rate must manifest");
+    assert!(extra > 0.0);
+}

@@ -1,0 +1,98 @@
+//! Property-based tests spanning the whole stack: any valid point of the
+//! exploration space must execute cleanly on any deployable candidate
+//! configuration, with sane, finite outputs.
+
+use acic_repro::acic::space::{AppPoint, SpacePoint, SystemConfig};
+use acic_repro::cloudsim::instance::InstanceType;
+use acic_repro::cloudsim::units::{kib, mib};
+use acic_repro::fsim::{IoApi, IoOp};
+use acic_repro::iobench::run_ior;
+use proptest::prelude::*;
+
+fn app_strategy() -> impl Strategy<Value = AppPoint> {
+    (
+        prop::sample::select(vec![32usize, 64, 128, 256]),
+        prop::sample::select(vec![8usize, 32, 64, 256]),
+        prop::sample::select(vec![IoApi::Posix, IoApi::MpiIo, IoApi::Hdf5]),
+        prop::sample::select(vec![1usize, 3, 10]),
+        prop::sample::select(vec![mib(1.0), mib(16.0), mib(128.0)]),
+        prop::sample::select(vec![kib(256.0), mib(4.0), mib(16.0)]),
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(
+            |(nprocs, io_procs, api, iterations, data, request, write, collective, shared)| {
+                AppPoint {
+                    nprocs,
+                    io_procs,
+                    api,
+                    iterations,
+                    data_size: data,
+                    request_size: request,
+                    op: if write { IoOp::Write } else { IoOp::Read },
+                    collective,
+                    shared_file: shared,
+                }
+                .normalized()
+            },
+        )
+}
+
+fn config_strategy() -> impl Strategy<Value = SystemConfig> {
+    let candidates = SystemConfig::candidates(InstanceType::Cc2_8xlarge);
+    prop::sample::select(candidates)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any (valid app, deployable config) pair runs without error and
+    /// yields positive, finite time/cost/bandwidth.
+    #[test]
+    fn any_valid_point_executes(app in app_strategy(), config in config_strategy(), seed in 0u64..1000) {
+        prop_assume!(config.valid_for(app.nprocs));
+        let report = run_ior(&config.to_io_system(app.nprocs), &app.to_ior(), seed).unwrap();
+        prop_assert!(report.secs() > 0.0 && report.secs().is_finite());
+        prop_assert!(report.cost > 0.0 && report.cost.is_finite());
+        prop_assert!(report.bandwidth_bps >= 0.0);
+        prop_assert!(report.instances >= 1);
+    }
+
+    /// Normalization is idempotent and always yields a valid point.
+    #[test]
+    fn normalization_is_idempotent(app in app_strategy(), config in config_strategy()) {
+        let p = SpacePoint { system: config, app }.normalized();
+        prop_assert_eq!(p.normalized(), p);
+        prop_assert!(p.app.to_ior().validate().is_ok());
+    }
+
+    /// More data through the same configuration never takes less time.
+    #[test]
+    fn time_is_monotone_in_data_volume(config in config_strategy(), seed in 0u64..100) {
+        let mut small = SpacePoint::default_point().app;
+        small.data_size = mib(4.0);
+        let mut large = small;
+        large.data_size = mib(64.0);
+        prop_assume!(config.valid_for(small.nprocs));
+        let t_small = run_ior(&config.to_io_system(small.nprocs), &small.to_ior(), seed)
+            .unwrap()
+            .secs();
+        let t_large = run_ior(&config.to_io_system(large.nprocs), &large.to_ior(), seed)
+            .unwrap()
+            .secs();
+        prop_assert!(t_large >= t_small * 0.99,
+            "16x the data should not be faster: {t_small} -> {t_large}");
+    }
+
+    /// Cost equals time × instances × hourly price (eq. (1)) for every run.
+    #[test]
+    fn cost_follows_equation_1(app in app_strategy(), config in config_strategy(), seed in 0u64..100) {
+        prop_assume!(config.valid_for(app.nprocs));
+        let sys = config.to_io_system(app.nprocs);
+        let report = run_ior(&sys, &app.to_ior(), seed).unwrap();
+        let hourly = sys.cluster.instance_type.hourly_price();
+        let expected = report.secs() / 3600.0 * report.instances as f64 * hourly;
+        prop_assert!((report.cost - expected).abs() < 1e-9 * expected.max(1.0));
+    }
+}
