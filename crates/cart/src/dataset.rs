@@ -1,9 +1,16 @@
-//! Feature schema and row storage for CART training.
+//! Feature schema and column-major storage for CART training.
 //!
 //! The ACIC exploration space mixes categorical dimensions (file system,
 //! device, placement, interface, ...) with numeric ones (data size, request
 //! size, process counts, ...); the dataset encodes both as `f64` cells and
 //! lets the schema say how each column is to be split.
+//!
+//! Storage is column-major: one contiguous `Vec<f64>` per feature plus one
+//! for the target.  The split search touches one feature at a time over
+//! many rows, so this layout turns its inner loops into sequential scans of
+//! a single allocation instead of a pointer chase through per-row `Vec`s.
+//! Row-oriented consumers (prediction, k-NN queries) gather a row on demand
+//! via [`Dataset::row`] / [`Dataset::copy_row_into`].
 
 /// How a feature column is interpreted by the split search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,21 +45,26 @@ impl Feature {
     }
 }
 
-/// A regression training set: rows of features plus a target per row.
+/// A regression training set: feature columns plus a target per row.
 #[derive(Debug, Clone, Default)]
 pub struct Dataset {
     /// Column schema.
     pub features: Vec<Feature>,
-    /// Row-major feature values (categorical cells hold the code as f64).
-    pub rows: Vec<Vec<f64>>,
+    /// Column-major feature values: `columns[j][i]` is feature `j` of row
+    /// `i` (categorical cells hold the code as f64).
+    columns: Vec<Vec<f64>>,
     /// Regression target per row.
     pub targets: Vec<f64>,
+    /// Lazily computed per-feature sorted row orders (see
+    /// [`Self::presorted`]); invalidated by [`Self::push`].
+    presort: std::sync::OnceLock<Vec<Vec<u32>>>,
 }
 
 impl Dataset {
     /// Empty dataset over a schema.
     pub fn new(features: Vec<Feature>) -> Self {
-        Self { features, rows: Vec::new(), targets: Vec::new() }
+        let columns = features.iter().map(|_| Vec::new()).collect();
+        Self { features, columns, targets: Vec::new(), presort: std::sync::OnceLock::new() }
     }
 
     /// Append one observation.
@@ -71,18 +83,71 @@ impl Dataset {
                 );
             }
         }
-        self.rows.push(row);
+        for (col, cell) in self.columns.iter_mut().zip(&row) {
+            col.push(*cell);
+        }
         self.targets.push(target);
+        // The cached sort orders describe the old row set.
+        self.presort = std::sync::OnceLock::new();
+    }
+
+    /// Per-feature sorted row orders, computed once per dataset and shared
+    /// by every tree trained on the full row set: entry `j` lists the row
+    /// indices of a numeric feature in ascending value order, ties in
+    /// ascending row order (exactly the stable per-tree sort the split
+    /// engine needs); categorical entries are empty.  Trees over the full
+    /// dataset — the plain `build_tree` path and the per-candidate fits of
+    /// cost-complexity pruning — reuse this instead of re-sorting, which is
+    /// the classic presort amortization taken one level further: sort once
+    /// per *dataset*, not once per tree.
+    pub fn presorted(&self) -> &[Vec<u32>] {
+        self.presort.get_or_init(|| {
+            self.features
+                .iter()
+                .enumerate()
+                .map(|(j, f)| match f.kind {
+                    FeatureKind::Numeric => {
+                        let col = &self.columns[j];
+                        let mut order: Vec<u32> = (0..col.len() as u32).collect();
+                        order.sort_by(|&a, &b| col[a as usize].total_cmp(&col[b as usize]));
+                        order
+                    }
+                    FeatureKind::Categorical { .. } => Vec::new(),
+                })
+                .collect()
+        })
     }
 
     /// Number of observations.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.targets.len()
     }
 
     /// True when there are no observations.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.targets.is_empty()
+    }
+
+    /// Feature `col` of row `row`.
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.columns[col][row]
+    }
+
+    /// The contiguous values of feature `j`, one per row.
+    pub fn column(&self, j: usize) -> &[f64] {
+        &self.columns[j]
+    }
+
+    /// Gather row `i` into a fresh vector (prefer [`Self::copy_row_into`]
+    /// in loops).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        self.columns.iter().map(|col| col[i]).collect()
+    }
+
+    /// Gather row `i` into `buf`, resizing it to the schema arity.
+    pub fn copy_row_into(&self, i: usize, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend(self.columns.iter().map(|col| col[i]));
     }
 
     /// Mean of the target over the given row indices.
@@ -121,13 +186,19 @@ impl Dataset {
             .sum()
     }
 
-    /// A new dataset containing only the given rows (used by k-fold CV and
-    /// bootstrap sampling).
+    /// A new dataset containing only the given rows (a materialized copy;
+    /// training paths avoid this via `build_tree_view`-style row views, but
+    /// ad-hoc holdout splits still want an owned dataset).
     pub fn subset(&self, idx: &[usize]) -> Dataset {
         Dataset {
             features: self.features.clone(),
-            rows: idx.iter().map(|&i| self.rows[i].clone()).collect(),
+            columns: self
+                .columns
+                .iter()
+                .map(|col| idx.iter().map(|&i| col[i]).collect())
+                .collect(),
             targets: idx.iter().map(|&i| self.targets[i]).collect(),
+            presort: std::sync::OnceLock::new(),
         }
     }
 }
@@ -151,6 +222,20 @@ mod tests {
         assert_eq!(d.target_mean(&all), 20.0);
         assert!((d.target_std(&all) - (200.0f64 / 3.0).sqrt()).abs() < 1e-12);
         assert!((d.target_sse(&all) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_major_accessors_agree() {
+        let mut d = two_col();
+        d.push(vec![1.0, 0.0], 10.0);
+        d.push(vec![2.0, 1.0], 20.0);
+        assert_eq!(d.column(0), &[1.0, 2.0]);
+        assert_eq!(d.column(1), &[0.0, 1.0]);
+        assert_eq!(d.value(1, 0), 2.0);
+        assert_eq!(d.row(1), vec![2.0, 1.0]);
+        let mut buf = Vec::new();
+        d.copy_row_into(0, &mut buf);
+        assert_eq!(buf, vec![1.0, 0.0]);
     }
 
     #[test]
@@ -191,6 +276,6 @@ mod tests {
         let s = d.subset(&[2, 0]);
         assert_eq!(s.len(), 2);
         assert_eq!(s.targets, vec![30.0, 10.0]);
-        assert_eq!(s.rows[0], vec![3.0, 2.0]);
+        assert_eq!(s.row(0), vec![3.0, 2.0]);
     }
 }

@@ -5,10 +5,11 @@
 //! bagged forest of CART trees is the natural first alternative; the
 //! `ablation_forest` bench compares it against the single pruned tree.
 
-use crate::builder::{build_tree, BuildParams};
+use crate::builder::{build_tree_view, BuildParams};
 use crate::dataset::Dataset;
 use crate::tree::{Prediction, Tree};
 use acic_cloudsim::rng::SplitMix64;
+use rayon::prelude::*;
 
 /// Forest hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +38,11 @@ pub struct Forest {
 impl Forest {
     /// Train a forest on `data` with bootstrap resampling.
     ///
+    /// All bootstrap samples are drawn up front from a single sequential
+    /// RNG, then the trees fit in parallel on row views (no subset
+    /// clones).  The result is therefore deterministic per seed no matter
+    /// how the worker threads are scheduled.
+    ///
     /// # Panics
     /// Panics if `data` is empty or `n_trees` is zero.
     pub fn fit(data: &Dataset, params: &ForestParams) -> Self {
@@ -44,11 +50,12 @@ impl Forest {
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         let mut rng = SplitMix64::new(params.seed);
         let n = data.len();
-        let trees = (0..params.n_trees)
-            .map(|_| {
-                let sample: Vec<usize> = (0..n).map(|_| rng.below(n)).collect();
-                build_tree(&data.subset(&sample), &params.tree_params)
-            })
+        let samples: Vec<Vec<usize>> = (0..params.n_trees)
+            .map(|_| (0..n).map(|_| rng.below(n)).collect())
+            .collect();
+        let trees = samples
+            .par_iter()
+            .map(|sample| build_tree_view(data, sample, &params.tree_params))
             .collect();
         Self { trees }
     }
@@ -56,16 +63,11 @@ impl Forest {
     /// Ensemble prediction: mean of member predictions; `std` is the
     /// between-member standard deviation (model uncertainty).
     pub fn predict(&self, row: &[f64]) -> Prediction {
-        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(row).value).collect();
+        let preds: Vec<Prediction> = self.trees.iter().map(|t| t.predict(row)).collect();
         let n = preds.len() as f64;
-        let mean = preds.iter().sum::<f64>() / n;
-        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n;
-        let support = self
-            .trees
-            .iter()
-            .map(|t| t.predict(row).support)
-            .sum::<usize>()
-            / self.trees.len();
+        let mean = preds.iter().map(|p| p.value).sum::<f64>() / n;
+        let var = preds.iter().map(|p| (p.value - mean) * (p.value - mean)).sum::<f64>() / n;
+        let support = preds.iter().map(|p| p.support).sum::<usize>() / preds.len();
         Prediction { value: mean, std: var.sqrt(), support }
     }
 
@@ -74,15 +76,14 @@ impl Forest {
         if data.is_empty() {
             return 0.0;
         }
-        data.rows
-            .iter()
-            .zip(&data.targets)
-            .map(|(row, &y)| {
-                let d = self.predict(row).value - y;
-                d * d
-            })
-            .sum::<f64>()
-            / data.len() as f64
+        let mut buf = Vec::with_capacity(data.features.len());
+        let mut sum = 0.0;
+        for (i, &y) in data.targets.iter().enumerate() {
+            data.copy_row_into(i, &mut buf);
+            let d = self.predict(&buf).value - y;
+            sum += d * d;
+        }
+        sum / data.len() as f64
     }
 }
 

@@ -38,17 +38,16 @@ impl Knn {
         let mut inv_stds = vec![1.0; d];
         for j in 0..d {
             if data.features[j].kind == FeatureKind::Numeric {
-                let mean = data.rows.iter().map(|r| r[j]).sum::<f64>() / n;
-                let var = data.rows.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
+                let col = data.column(j);
+                let mean = col.iter().sum::<f64>() / n;
+                let var = col.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n;
                 means[j] = mean;
                 inv_stds[j] = if var > 0.0 { 1.0 / var.sqrt() } else { 0.0 };
             }
         }
         let kinds: Vec<FeatureKind> = data.features.iter().map(|f| f.kind).collect();
-        let rows = data
-            .rows
-            .iter()
-            .map(|r| normalize(r, &kinds, &means, &inv_stds))
+        let rows = (0..data.len())
+            .map(|i| normalize(&data.row(i), &kinds, &means, &inv_stds))
             .collect();
         Self { k: k.min(data.len()), kinds, means, inv_stds, rows, targets: data.targets.clone() }
     }
@@ -78,15 +77,14 @@ impl Knn {
         if data.is_empty() {
             return 0.0;
         }
-        data.rows
-            .iter()
-            .zip(&data.targets)
-            .map(|(r, &y)| {
-                let d = self.predict(r).value - y;
-                d * d
-            })
-            .sum::<f64>()
-            / data.len() as f64
+        let mut buf = Vec::with_capacity(data.features.len());
+        let mut sum = 0.0;
+        for (i, &y) in data.targets.iter().enumerate() {
+            data.copy_row_into(i, &mut buf);
+            let d = self.predict(&buf).value - y;
+            sum += d * d;
+        }
+        sum / data.len() as f64
     }
 }
 
@@ -137,8 +135,8 @@ mod tests {
     fn one_nn_memorizes_training_points() {
         let d = grid();
         let knn = Knn::fit(&d, 1);
-        for (row, &y) in d.rows.iter().zip(&d.targets).take(10) {
-            assert_eq!(knn.predict(row).value, y);
+        for i in 0..10 {
+            assert_eq!(knn.predict(&d.row(i)).value, d.targets[i]);
         }
         assert_eq!(knn.mse(&d), 0.0);
     }

@@ -2,10 +2,11 @@
 //! selection of the complexity parameter α — "the optimal decision tree is
 //! pruned to avoid over-fitting" (paper §4.2).
 
-use crate::builder::{build_tree, BuildParams};
+use crate::builder::{build_tree, build_tree_view, BuildParams};
 use crate::dataset::Dataset;
 use crate::tree::{Node, Tree};
 use acic_cloudsim::rng::SplitMix64;
+use rayon::prelude::*;
 
 /// SSE of node `at` if it were collapsed to a leaf.
 fn node_sse(tree: &Tree, at: usize) -> f64 {
@@ -162,6 +163,11 @@ const MAX_CANDIDATE_ALPHAS: usize = 24;
 /// cross-validation: candidate αs are quantiles of the full tree's link
 /// strengths (subsampled to [`MAX_CANDIDATE_ALPHAS`]); each fold votes
 /// with its validation MSE; the α with the lowest mean CV error wins.
+///
+/// Folds train and evaluate in parallel on row views of `data` (no subset
+/// clones); the per-α errors are summed in fold order afterwards, so the
+/// selected α — and hence the returned tree — is deterministic per seed
+/// regardless of thread scheduling.
 pub fn cross_validated_prune(data: &Dataset, k: usize, seed: u64) -> Tree {
     let full = build_tree(data, &BuildParams::overgrow());
     let alphas = candidate_alphas(&full);
@@ -175,25 +181,36 @@ pub fn cross_validated_prune(data: &Dataset, k: usize, seed: u64) -> Tree {
     rng.shuffle(&mut order);
 
     let k = k.max(2).min(data.len());
+    let folds: Vec<(Vec<usize>, Vec<usize>)> = (0..k)
+        .map(|fold| {
+            let val_idx: Vec<usize> = order.iter().copied().skip(fold).step_by(k).collect();
+            let train_idx: Vec<usize> = order
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(pos, _)| pos % k != fold)
+                .map(|(_, i)| i)
+                .collect();
+            (train_idx, val_idx)
+        })
+        .collect();
+    let fold_errs: Vec<Vec<f64>> = folds
+        .par_iter()
+        .map(|(train_idx, val_idx)| {
+            if train_idx.is_empty() || val_idx.is_empty() {
+                return vec![0.0; alphas.len()];
+            }
+            let fold_tree = build_tree_view(data, train_idx, &BuildParams::overgrow());
+            alphas
+                .iter()
+                .map(|&alpha| prune_with_alpha(&fold_tree, alpha).mse_view(data, val_idx))
+                .collect()
+        })
+        .collect();
     let mut cv_err = vec![0.0f64; alphas.len()];
-    for fold in 0..k {
-        let val_idx: Vec<usize> = order.iter().copied().skip(fold).step_by(k).collect();
-        let train_idx: Vec<usize> = order
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|(pos, _)| pos % k != fold)
-            .map(|(_, i)| i)
-            .collect();
-        if train_idx.is_empty() || val_idx.is_empty() {
-            continue;
-        }
-        let train = data.subset(&train_idx);
-        let val = data.subset(&val_idx);
-        let fold_tree = build_tree(&train, &BuildParams::overgrow());
-        for (ai, &alpha) in alphas.iter().enumerate() {
-            let pruned = prune_with_alpha(&fold_tree, alpha);
-            cv_err[ai] += pruned.mse(&val);
+    for errs in &fold_errs {
+        for (ai, e) in errs.iter().enumerate() {
+            cv_err[ai] += e;
         }
     }
 

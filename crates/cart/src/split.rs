@@ -1,9 +1,14 @@
-//! Exact best-split search for regression.
+//! Exact best-split search for regression — the reference implementation.
 //!
 //! The CART criterion: choose the split that maximizes the reduction in the
 //! sum of squared errors (equivalently, minimizes the within-children
 //! variance — "the optimal split minimizes the difference (e.g., root mean
 //! square) among the samples in the leaf nodes", paper §4.2).
+//!
+//! [`best_split`] re-sorts every numeric feature at every node; it is kept
+//! as the obviously-correct baseline that the presorted fast path
+//! ([`crate::presort`], used by the builder) is validated against — the
+//! two must agree bit for bit (`tests/equivalence.rs`).
 
 use crate::dataset::{Dataset, FeatureKind};
 
@@ -80,8 +85,9 @@ fn best_numeric_split(
     if n < 2 * min_leaf {
         return None;
     }
+    let col = data.column(j);
     let mut order: Vec<usize> = idx.to_vec();
-    order.sort_by(|&a, &b| data.rows[a][j].total_cmp(&data.rows[b][j]));
+    order.sort_by(|&a, &b| col[a].total_cmp(&col[b]));
 
     let total_sum: f64 = order.iter().map(|&i| data.targets[i]).sum();
     let total_sq: f64 = order.iter().map(|&i| data.targets[i] * data.targets[i]).sum();
@@ -96,8 +102,8 @@ fn best_numeric_split(
         let y = data.targets[order[k]];
         lsum += y;
         lsq += y * y;
-        let x_here = data.rows[order[k]][j];
-        let x_next = data.rows[order[k + 1]][j];
+        let x_here = col[order[k]];
+        let x_next = col[order[k + 1]];
         if x_here == x_next {
             continue; // cannot cut between equal values
         }
@@ -147,8 +153,9 @@ fn best_categorical_split(
     let mut cnt = vec![0usize; a];
     let mut sum = vec![0.0f64; a];
     let mut sq = vec![0.0f64; a];
+    let col = data.column(j);
     for &i in idx {
-        let c = data.rows[i][j] as usize;
+        let c = col[i] as usize;
         cnt[c] += 1;
         sum[c] += data.targets[i];
         sq[c] += data.targets[i] * data.targets[i];

@@ -107,15 +107,30 @@ impl Tree {
         if data.is_empty() {
             return 0.0;
         }
-        data.rows
-            .iter()
-            .zip(&data.targets)
-            .map(|(row, &y)| {
-                let d = self.predict(row).value - y;
-                d * d
-            })
-            .sum::<f64>()
-            / data.len() as f64
+        let mut buf = Vec::with_capacity(data.features.len());
+        let mut sum = 0.0;
+        for (i, &y) in data.targets.iter().enumerate() {
+            data.copy_row_into(i, &mut buf);
+            let d = self.predict(&buf).value - y;
+            sum += d * d;
+        }
+        sum / data.len() as f64
+    }
+
+    /// Mean squared error over a row view of `data` (same result as
+    /// `self.mse(&data.subset(idx))` without materializing the subset).
+    pub fn mse_view(&self, data: &Dataset, idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        let mut buf = Vec::with_capacity(data.features.len());
+        let mut sum = 0.0;
+        for &i in idx {
+            data.copy_row_into(i, &mut buf);
+            let d = self.predict(&buf).value - data.targets[i];
+            sum += d * d;
+        }
+        sum / idx.len() as f64
     }
 
     /// Number of leaves.

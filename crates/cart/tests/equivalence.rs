@@ -1,0 +1,125 @@
+//! Old-vs-new engine equivalence: the presorted split search and the
+//! frame-based builder must reproduce the reference implementation
+//! **bit for bit** — same winning feature, same rule, same gain, same
+//! child counts, same trees — on randomized mixed datasets, including
+//! bootstrap-shaped views with duplicated and shuffled rows.
+
+use acic_cart::split::{best_split, SplitRule};
+use acic_cart::{
+    best_split_presorted, build_tree, build_tree_view, BuildParams, Dataset, Feature,
+};
+use proptest::prelude::*;
+
+/// Random mixed dataset: two numeric and two categorical features, with
+/// deliberately few distinct numeric values so ties (the stable-sort
+/// hazard) occur constantly.
+fn mixed_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        ((0u32..12, 0.0f64..100.0), (0u32..3, 0u32..5), -50.0f64..50.0),
+        8..90,
+    )
+    .prop_map(|rows| {
+        let mut d = Dataset::new(vec![
+            Feature::numeric("xt"), // tie-heavy: 12 distinct values
+            Feature::numeric("x"),
+            Feature::categorical("a", 3),
+            Feature::categorical("b", 5),
+        ]);
+        for ((xt, x), (a, b), y) in rows {
+            d.push(vec![f64::from(xt), x, f64::from(a), f64::from(b)], y);
+        }
+        d
+    })
+}
+
+/// A bootstrap-shaped row view: shuffled, with duplicates.
+fn view_of(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..n, n.max(1))
+}
+
+fn assert_same_candidate(
+    reference: Option<acic_cart::SplitCandidate>,
+    presorted: Option<acic_cart::SplitCandidate>,
+) -> Result<(), TestCaseError> {
+    match (&reference, &presorted) {
+        (None, None) => {}
+        (Some(r), Some(p)) => {
+            prop_assert_eq!(r.feature, p.feature, "winning feature differs");
+            prop_assert!(
+                (r.gain - p.gain).abs() <= 1e-9 * r.gain.abs().max(1.0),
+                "gain differs: {} vs {}",
+                r.gain,
+                p.gain
+            );
+            prop_assert_eq!(r.left_count, p.left_count);
+            prop_assert_eq!(r.right_count, p.right_count);
+            match (&r.rule, &p.rule) {
+                (SplitRule::Le(a), SplitRule::Le(b)) => {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "threshold differs")
+                }
+                (SplitRule::In(a), SplitRule::In(b)) => prop_assert_eq!(a, b),
+                _ => prop_assert!(false, "rule kinds differ: {:?} vs {:?}", r.rule, p.rule),
+            }
+            // And the full candidates compare equal (exact f64 equality on
+            // the gain included — the engines share accumulation order).
+            prop_assert_eq!(&reference, &presorted);
+        }
+        _ => prop_assert!(false, "one engine split, the other did not: {:?} vs {:?}", reference, presorted),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Root-level split search: identical `SplitCandidate` from both
+    /// engines for every `min_leaf` in play.
+    #[test]
+    fn root_split_matches_reference(d in mixed_dataset(), min_leaf in 1usize..5) {
+        let idx: Vec<usize> = (0..d.len()).collect();
+        assert_same_candidate(
+            best_split(&d, &idx, min_leaf),
+            best_split_presorted(&d, &idx, min_leaf),
+        )?;
+    }
+
+    /// Split search over a bootstrap-shaped view equals the reference on
+    /// the materialized subset.
+    #[test]
+    fn view_split_matches_subset_reference(d in mixed_dataset(), min_leaf in 1usize..4) {
+        let rows_strategy_input = d.len();
+        let rows: Vec<usize> = (0..rows_strategy_input)
+            .map(|i| (i * 31 + 7) % rows_strategy_input)
+            .collect();
+        let sub = d.subset(&rows);
+        let sub_idx: Vec<usize> = (0..rows.len()).collect();
+        assert_same_candidate(
+            best_split(&sub, &sub_idx, min_leaf),
+            best_split_presorted(&d, &rows, min_leaf),
+        )?;
+    }
+
+    /// Whole-tree equivalence: the frame-based builder on a random view
+    /// produces a tree equal (node arena, rules, values, stds, counts) to
+    /// building on the materialized subset — which exercises partition
+    /// maintenance of the sorted orders down the full recursion.
+    #[test]
+    fn built_trees_match_on_views(d in mixed_dataset(), rows in view_of(64), overgrow in prop::bool::ANY) {
+        let rows: Vec<usize> = rows.into_iter().map(|r| r % d.len()).collect();
+        let params = if overgrow { BuildParams::overgrow() } else { BuildParams::default() };
+        let via_view = build_tree_view(&d, &rows, &params);
+        let via_subset = build_tree(&d.subset(&rows), &params);
+        prop_assert_eq!(via_view, via_subset);
+    }
+
+    /// Tree MSE over a view equals tree MSE over the materialized subset.
+    #[test]
+    fn mse_view_matches_subset(d in mixed_dataset(), rows in view_of(40)) {
+        let rows: Vec<usize> = rows.into_iter().map(|r| r % d.len()).collect();
+        let tree = build_tree(&d, &BuildParams::default());
+        prop_assert_eq!(
+            tree.mse_view(&d, &rows).to_bits(),
+            tree.mse(&d.subset(&rows)).to_bits()
+        );
+    }
+}

@@ -80,9 +80,9 @@ proptest! {
         let tree = build_tree(&d, &BuildParams::default());
         let lo = d.targets.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = d.targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        for (row, &y) in d.rows.iter().zip(&d.targets).take(20) {
-            let p = tree.predict(row).value;
-            prop_assert!((p - y).abs() <= (hi - lo) + 1e-9);
+        for i in 0..d.len().min(20) {
+            let p = tree.predict(&d.row(i)).value;
+            prop_assert!((p - d.targets[i]).abs() <= (hi - lo) + 1e-9);
         }
     }
 }

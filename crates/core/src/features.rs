@@ -12,6 +12,9 @@ use acic_fsim::{FsType, IoApi, IoOp};
 /// Number of features (one per Table 1 dimension).
 pub const N_FEATURES: usize = 15;
 
+/// Number of leading system-half features (the rest describe the app).
+pub const N_SYSTEM_FEATURES: usize = 6;
+
 /// The CART feature schema for the 15-D space: categorical columns for the
 /// unordered dimensions, numeric for the ordered ones.
 pub fn schema() -> Vec<Feature> {
@@ -53,11 +56,11 @@ pub fn api_code(a: IoApi) -> f64 {
     }
 }
 
-/// Encode a (system, app) pair into a feature row matching [`schema`].
-pub fn encode(system: &SystemConfig, app: &AppPoint) -> Vec<f64> {
+/// Encode the system half (the first [`N_SYSTEM_FEATURES`] cells of a
+/// feature row) after normalization.
+pub fn encode_system_half(system: &SystemConfig) -> [f64; N_SYSTEM_FEATURES] {
     let system = system.normalized();
-    let app = app.normalized();
-    vec![
+    [
         device_code(system.device),
         match system.fs {
             FsType::Nfs => 0.0,
@@ -73,6 +76,15 @@ pub fn encode(system: &SystemConfig, app: &AppPoint) -> Vec<f64> {
             Placement::Dedicated => 1.0,
         },
         system.stripe_size,
+    ]
+}
+
+/// Encode the app half (the trailing cells of a feature row) after
+/// normalization.  Batched queries encode this once and reuse it across
+/// every candidate system configuration.
+pub fn encode_app_half(app: &AppPoint) -> [f64; N_FEATURES - N_SYSTEM_FEATURES] {
+    let app = app.normalized();
+    [
         app.nprocs as f64,
         app.io_procs as f64,
         api_code(app.api),
@@ -86,6 +98,14 @@ pub fn encode(system: &SystemConfig, app: &AppPoint) -> Vec<f64> {
         f64::from(app.collective),
         f64::from(app.shared_file),
     ]
+}
+
+/// Encode a (system, app) pair into a feature row matching [`schema`].
+pub fn encode(system: &SystemConfig, app: &AppPoint) -> Vec<f64> {
+    let mut row = Vec::with_capacity(N_FEATURES);
+    row.extend_from_slice(&encode_system_half(system));
+    row.extend_from_slice(&encode_app_half(app));
+    row
 }
 
 #[cfg(test)]

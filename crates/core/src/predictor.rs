@@ -1,7 +1,7 @@
 //! The CART-backed black-box predictor and top-k recommender (paper §4.2).
 
 use crate::error::AcicError;
-use crate::features::encode;
+use crate::features::{encode, encode_app_half, encode_system_half, N_FEATURES, N_SYSTEM_FEATURES};
 use crate::objective::Objective;
 use crate::space::{AppPoint, SystemConfig};
 use crate::training::TrainingDb;
@@ -72,22 +72,32 @@ impl Predictor {
     /// I/O system configurations considered, as the input to the CART
     /// model ... a full exploration of system configuration space is
     /// affordable here" (§4.2).
+    ///
+    /// The batch shares one feature row across candidates: the app half is
+    /// encoded once, each candidate only rewrites the system cells, and the
+    /// tie-break notation is computed once per candidate rather than once
+    /// per comparison.
     pub fn rank_candidates(
         &self,
         app: &AppPoint,
         objective: Objective,
         instance_type: InstanceType,
     ) -> Vec<(SystemConfig, f64)> {
-        let mut scored: Vec<(SystemConfig, f64)> = SystemConfig::candidates(instance_type)
+        let model = self.model(objective);
+        let mut row = [0.0f64; N_FEATURES];
+        row[N_SYSTEM_FEATURES..].copy_from_slice(&encode_app_half(app));
+        let mut scored: Vec<(SystemConfig, f64, String)> = SystemConfig::candidates(instance_type)
             .into_iter()
             .filter(|c| c.valid_for(app.nprocs))
             .map(|c| {
-                let imp = self.predict(&c, app, objective);
-                (c, imp)
+                row[..N_SYSTEM_FEATURES].copy_from_slice(&encode_system_half(&c));
+                let imp = model.predict(&row).value;
+                let key = c.notation();
+                (c, imp, key)
             })
             .collect();
-        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.notation().cmp(&b.0.notation())));
-        scored
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.2.cmp(&b.2)));
+        scored.into_iter().map(|(c, imp, _)| (c, imp)).collect()
     }
 
     /// The top-k recommendation list (paper: "ACIC can be configured to

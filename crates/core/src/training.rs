@@ -159,6 +159,17 @@ impl Trainer {
             .map(|(i, p)| {
                 let seed = root.derive(i as u64).next_u64();
                 let app_key = app_bits(&p.app);
+                // The baseline seed must be a function of the app key, not
+                // of the point index: two points sharing an app half can
+                // race to fill the cache, and an index-derived seed would
+                // make the cached report depend on which thread won.
+                let baseline_seed = {
+                    let mut r = root.derive(u64::MAX);
+                    for &w in &app_key {
+                        r = r.derive(w);
+                    }
+                    r.next_u64()
+                };
                 let baseline = {
                     let cached = baseline_cache.lock().get(&app_key).cloned();
                     match cached {
@@ -167,7 +178,7 @@ impl Trainer {
                             let r = run_ior(
                                 &baseline_sys.to_io_system(p.app.nprocs),
                                 &p.app.to_ior(),
-                                root.derive(u64::MAX ^ i as u64).next_u64(),
+                                baseline_seed,
                             )?;
                             baseline_cache.lock().insert(app_key, r.clone());
                             r

@@ -14,6 +14,7 @@ use crate::error::AcicError;
 use crate::objective::Objective;
 use crate::space::{AppPoint, SystemConfig};
 use acic_cloudsim::pricing::CostModel;
+#[cfg(test)]
 use acic_cloudsim::units::HOUR;
 use acic_iobench::run_ior;
 

@@ -57,7 +57,7 @@ pub fn parse_ior_args(args: &str) -> Result<IorConfig, String> {
     let mut shared = true;
     let mut tokens = args.split_whitespace().peekable();
 
-    let mut value = |tokens: &mut std::iter::Peekable<std::str::SplitWhitespace>,
+    let value = |tokens: &mut std::iter::Peekable<std::str::SplitWhitespace>,
                      flag: &str|
      -> Result<String, String> {
         tokens

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, full test suite, bench compile check, and the CART
+# engine benchmark artifact (BENCH_cart.json at the repo root).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline --workspace
+cargo bench --no-run --offline --workspace
+cargo run --release --offline -p acic-bench --bin bench_cart

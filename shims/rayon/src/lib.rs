@@ -1,0 +1,245 @@
+//! Offline workalike of the [rayon](https://crates.io/crates/rayon)
+//! parallel-iterator API surface used by this workspace.
+//!
+//! The build environment has no crates.io access, so the real rayon cannot
+//! be vendored.  This shim provides genuinely parallel `par_iter()` /
+//! `into_par_iter()` pipelines over slices, `Vec`s, and ranges, built on
+//! `std::thread::scope`: items are dispatched to worker threads through an
+//! atomic cursor (dynamic load balancing, which matters because simulated
+//! I/O runs and tree fits vary widely in cost) and results are reassembled
+//! in input order, so `collect()` is order- and therefore bit-stable
+//! regardless of scheduling.
+//!
+//! Only the combinators this repo uses exist: `enumerate`, `map`, and
+//! `collect` into `Vec<T>` or `Result<Vec<T>, E>`.  Thread count follows
+//! `RAYON_NUM_THREADS` when set, else `std::thread::available_parallelism`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Everything a consumer needs in scope for `.par_iter()` / `.into_par_iter()`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Worker-thread count: `RAYON_NUM_THREADS` override, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Order-preserving parallel map with dynamic (atomic-cursor) dispatch.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("item dispatched twice");
+                let r = f(item);
+                *out[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker died before writing its slot")
+        })
+        .collect()
+}
+
+/// Conversion into a parallel iterator by value (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Start a parallel pipeline over the elements.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Conversion into a parallel iterator over references (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed element type.
+    type Item: Send + 'data;
+    /// Start a parallel pipeline over borrowed elements.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// A not-yet-mapped parallel pipeline (the item list, in input order).
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair each element with its input-order index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Attach the mapping function; evaluation happens at `collect`.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    /// Number of elements in the pipeline.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the pipeline has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel pipeline, ready to `collect`.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Run the pipeline on the worker pool and gather results in input
+    /// order.
+    pub fn collect<C>(self) -> C
+    where
+        F: Fn(T) -> C::Item + Sync,
+        C: FromParallelIterator,
+    {
+        C::from_ordered(par_map_vec(self.items, &self.f))
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallelIterator: Sized {
+    /// The pipeline's per-element output type.
+    type Item: Send;
+    /// Build the collection from results in input order.
+    fn from_ordered(items: Vec<Self::Item>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator for Vec<T> {
+    type Item = T;
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator for Result<Vec<T>, E> {
+    type Item = Result<T, E>;
+    fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_matches_input_positions() {
+        let xs = vec!["a", "b", "c"];
+        let tagged: Vec<(usize, String)> =
+            xs.par_iter().enumerate().map(|(i, s)| (i, s.to_string())).collect();
+        assert_eq!(tagged, vec![(0, "a".into()), (1, "b".into()), (2, "c".into())]);
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_first_error_in_order() {
+        let xs: Vec<i32> = (0..100).collect();
+        let r: Result<Vec<i32>, String> = xs
+            .par_iter()
+            .map(|&x| if x == 37 { Err(format!("bad {x}")) } else { Ok(x) })
+            .collect();
+        assert_eq!(r.unwrap_err(), "bad 37");
+    }
+
+    #[test]
+    fn into_par_iter_over_ranges_and_vecs() {
+        let squares: Vec<usize> = (0..50usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[49], 49 * 49);
+        let owned: Vec<String> = vec![1, 2, 3].into_par_iter().map(|x| x.to_string()).collect();
+        assert_eq!(owned, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let xs: Vec<u32> = (0..256).collect();
+        let _: Vec<()> = xs
+            .par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            })
+            .collect();
+        let threads = seen.lock().unwrap().len();
+        if super::current_num_threads() > 1 {
+            assert!(threads > 1, "expected parallel execution, saw {threads} thread(s)");
+        }
+    }
+}
