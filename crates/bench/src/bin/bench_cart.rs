@@ -7,6 +7,7 @@
 //! tree-equal before timing, so the numbers compare engines, not models.
 //! Runs in seconds; wired into `scripts/tier1.sh`.
 
+use acic::Metrics;
 use acic_bench::cart_ref::{acic_like_dataset, reference_build_tree, RowMajor};
 use acic_cart::{build_tree, BuildParams, Forest, ForestParams};
 use std::hint::black_box;
@@ -30,20 +31,32 @@ fn time_samples<R>(runs: usize, mut f: impl FnMut() -> R) -> (f64, f64) {
 }
 
 fn main() {
+    let metrics = Metrics::new();
     let rows = 10_000;
-    let d = acic_like_dataset(rows, 42);
-    let rm = RowMajor::from_dataset(&d);
+    let (d, rm) = {
+        let _span = metrics.span("phase.dataset");
+        let d = acic_like_dataset(rows, 42);
+        let rm = RowMajor::from_dataset(&d);
+        (d, rm)
+    };
     let params = BuildParams::default();
 
-    let reference_tree = reference_build_tree(&rm, &params);
-    let presorted_tree = build_tree(&d, &params);
-    let bit_identical = reference_tree == presorted_tree;
+    let bit_identical = {
+        let _span = metrics.span("phase.equivalence");
+        reference_build_tree(&rm, &params) == build_tree(&d, &params)
+    };
     assert!(bit_identical, "engines diverged on the benchmark dataset");
 
     eprintln!("timing build_tree on {rows} rows x {} features ...", d.features.len());
-    let (reference_s, reference_min) =
-        time_samples(5, || reference_build_tree(&rm, &params).leaf_count());
-    let (presorted_s, presorted_min) = time_samples(9, || build_tree(&d, &params).leaf_count());
+    let (reference_s, reference_min) = {
+        let _span = metrics.span("phase.time.reference");
+        time_samples(5, || reference_build_tree(&rm, &params).leaf_count())
+    };
+    let (presorted_s, presorted_min) = {
+        let _span = metrics.span("phase.time.presorted");
+        time_samples(9, || build_tree(&d, &params).leaf_count())
+    };
+    metrics.incr("bench.samples", 5 + 9);
     let speedup = reference_s / presorted_s;
     let speedup_min = reference_min / presorted_min;
 
@@ -54,11 +67,14 @@ fn main() {
     let fparams = ForestParams::default();
     let threads = rayon::current_num_threads().max(2);
     eprintln!("timing Forest::fit ({} trees) at 1 vs {threads} threads ...", fparams.n_trees);
+    let forest_span = metrics.span("phase.time.forest");
     std::env::set_var("RAYON_NUM_THREADS", "1");
     let (forest_1t_s, _) = time_samples(3, || Forest::fit(&fd, &fparams).trees.len());
     std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
     let (forest_nt_s, _) = time_samples(3, || Forest::fit(&fd, &fparams).trees.len());
     std::env::remove_var("RAYON_NUM_THREADS");
+    drop(forest_span);
+    metrics.incr("bench.samples", 6);
     let forest_scaling = forest_1t_s / forest_nt_s;
 
     let json = format!(
@@ -73,6 +89,7 @@ fn main() {
     std::fs::write(&out, &json).expect("write BENCH_cart.json");
     println!("{json}");
     println!("wrote {}", out.display());
+    eprint!("{}", metrics.render());
     assert!(
         speedup.max(speedup_min) >= 3.0,
         "presorted build_tree must be >= 3x the reference on 10k x 15 \

@@ -100,19 +100,32 @@ fn main() {
     let sys = pvfs(DeviceKind::Ephemeral, 4, Placement::Dedicated, mib(4.0)).to_io_system(64);
     let exec = Executor::new(sys).with_faults(FaultPlan::papers_observed_rate());
     let mut faults = 0usize;
+    let mut aborts = 0usize;
     let mut penalty = 0.0;
     let clean = Executor::new(sys);
     for s in 0..200u64 {
         let w = agg.to_ior().workload();
-        let f = exec.run(&w, s).unwrap();
         let c = clean.run(&w, s).unwrap();
+        // A fired fault can corrupt data and kill the run outright (paper
+        // §5.6 obs 5); a production trainer re-runs with a fresh seed.
+        let mut attempt = 0u64;
+        let f = loop {
+            match exec.run(&w, s ^ (attempt << 32)) {
+                Ok(outcome) => break outcome,
+                Err(_) => {
+                    aborts += 1;
+                    penalty += c.total_secs; // the wasted re-run, roughly
+                    attempt += 1;
+                }
+            }
+        };
         faults += f.faults;
         penalty += f.total_secs - c.total_secs;
     }
     println!(
-        "5. fault injection over 200 training runs: {faults} lost connections, \
-         {penalty:.0}s total retry penalty → tolerance required: {}",
-        verdict(faults > 0)
+        "5. fault injection over 200 training runs: {faults} lost connections tolerated, \
+         {aborts} aborted runs, {penalty:.0}s total retry penalty → tolerance required: {}",
+        verdict(faults + aborts > 0)
     );
 
     println!();

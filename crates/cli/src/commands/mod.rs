@@ -21,12 +21,18 @@ USAGE:
         Plackett-Burman screen on the simulated cloud.
 
   acic train      [--dims N] [--seed N] [--out FILE] [--ranking paper|screen]
+                  [--faults none|paper-rate|PROB[,PENALTY[,ABORT]]]
+                  [--retries N] [--resume JOURNAL] [--report] [--allow-skips]
         Collect an IOR training database over the top N ranked dimensions
-        and optionally save it as shareable text.
+        and optionally save it as shareable text.  --faults injects the
+        paper's observed connection-loss rate (runs are retried on derived
+        seeds, unsalvageable points skipped); --resume checkpoints every
+        finished point to an append-only journal and restarts bit-identically
+        from it; --report prints the collection report and metrics.
 
   acic recommend  --app NAME --procs N [--db FILE | --dims N] [--goal perf|cost]
                   [--top K] [--seed N] [--model cart|forest|knn]
-                  [--verify [--app-run-secs S]]
+                  [--verify [--app-run-secs S]] [--report]
         Profile the application and rank all candidate I/O configurations;
         --verify replays the top-k as IOR probes and re-ranks by
         measurement, accounting residual-hour piggybacking.
@@ -38,7 +44,7 @@ USAGE:
   acic walk       --app NAME --procs N [--goal perf|cost] [--random] [--seed N]
         PB-guided greedy space walk (no training database needed).
 
-  acic sweep      --app NAME --procs N [--goal perf|cost] [--seed N]
+  acic sweep      --app NAME --procs N [--goal perf|cost] [--seed N] [--report]
         Exhaustively measure every candidate configuration (ground truth).
 
   acic ior        --args \"-a MPIIO -b 16m -t 4m -i 10 -w -c -N 64\"

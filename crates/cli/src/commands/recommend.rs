@@ -3,12 +3,23 @@
 use crate::args::Args;
 use crate::commands::goal;
 use crate::registry::app_by_name;
-use acic::{Acic, TrainingDb};
+use acic::{Acic, Metrics, TrainingDb};
 
 pub fn run(args: &Args) -> Result<(), String> {
     args.reject_unknown(&[
-        "app", "procs", "db", "dims", "goal", "top", "seed", "verify", "app-run-secs", "model",
+        "app",
+        "procs",
+        "db",
+        "dims",
+        "goal",
+        "top",
+        "seed",
+        "verify",
+        "app-run-secs",
+        "model",
+        "report",
     ])?;
+    let metrics = Metrics::new();
     let app_name = args.get("app").ok_or("--app is required")?;
     let procs: usize = args.parse_or("procs", 64)?;
     let top: usize = args.parse_or("top", 3)?;
@@ -23,28 +34,36 @@ pub fn run(args: &Args) -> Result<(), String> {
         other => return Err(format!("invalid --model {other:?} (cart, forest, or knn)")),
     };
 
-    let mut acic = match args.get("db") {
-        Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let db = TrainingDb::from_text(&text).map_err(|e| e.to_string())?;
-            eprintln!("loaded {} training points from {path}", db.len());
-            Acic::from_db(db, seed).map_err(|e| e.to_string())?
-        }
-        None => {
-            let dims: usize = args.parse_or("dims", 10)?;
-            eprintln!("no --db given; training in-process over the top {dims} dimensions...");
-            Acic::with_paper_ranking(dims, seed).map_err(|e| e.to_string())?
-        }
+    let mut acic = {
+        let _span = metrics.span("phase.train");
+        let acic = match args.get("db") {
+            Some(path) => {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                let db = TrainingDb::from_text(&text).map_err(|e| e.to_string())?;
+                eprintln!("loaded {} training points from {path}", db.len());
+                Acic::from_db(db, seed).map_err(|e| e.to_string())?
+            }
+            None => {
+                let dims: usize = args.parse_or("dims", 10)?;
+                eprintln!("no --db given; training in-process over the top {dims} dimensions...");
+                Acic::with_paper_ranking(dims, seed).map_err(|e| e.to_string())?
+            }
+        };
+        metrics.incr("recommend.db.points", acic.db.len() as u64);
+        acic
     };
 
     if model_kind != acic_cart::ModelKind::Cart {
+        let _span = metrics.span("phase.retrain");
         acic.retrain_with(model_kind).map_err(|e| e.to_string())?;
     }
 
-    let recs = acic
-        .recommend_for(model.as_ref(), objective, top)
-        .map_err(|e| e.to_string())?;
+    let recs = {
+        let _span = metrics.span("phase.rank");
+        acic.recommend_for(model.as_ref(), objective, top).map_err(|e| e.to_string())?
+    };
+    metrics.incr("recommend.candidates.returned", recs.len() as u64);
     println!(
         "top {} I/O configurations for {}-{procs} ({objective} goal, {model_kind} model):",
         recs.len(),
@@ -66,11 +85,17 @@ pub fn run(args: &Args) -> Result<(), String> {
         use acic::verify::verify_top_k;
         use acic_apps::profile;
         let app_run_secs: f64 = args.parse_or("app-run-secs", 0.0)?;
-        let point = app_point_from(&profile(&model.trace()).ok_or("application performs no I/O")?);
+        let point = {
+            let _span = metrics.span("phase.profile");
+            app_point_from(&profile(&model.trace()).ok_or("application performs no I/O")?)
+        };
         let ranked: Vec<(acic::SystemConfig, f64)> =
             recs.iter().map(|r| (r.config, r.predicted_improvement)).collect();
-        let v = verify_top_k(&ranked, &point, objective, top, app_run_secs, seed)
-            .map_err(|e| e.to_string())?;
+        let v = {
+            let _span = metrics.span("phase.verify");
+            verify_top_k(&ranked, &point, objective, top, app_run_secs, seed)
+                .map_err(|e| e.to_string())?
+        };
         println!();
         println!("verification probes (IOR replays of the profiled characteristics):");
         for (i, c) in v.ranked.iter().enumerate() {
@@ -88,6 +113,9 @@ pub fn run(args: &Args) -> Result<(), String> {
             v.standalone_cost,
             v.free_fraction() * 100.0
         );
+    }
+    if args.flag("report") {
+        eprint!("{}", metrics.render());
     }
     Ok(())
 }

@@ -4,19 +4,24 @@ use crate::args::Args;
 use crate::commands::goal;
 use crate::registry::app_by_name;
 use acic::sweep::Spectrum;
-use acic::Objective;
+use acic::{Metrics, Objective};
 use acic_cloudsim::instance::InstanceType;
 
 pub fn run(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["app", "procs", "goal", "seed"])?;
+    args.reject_unknown(&["app", "procs", "goal", "seed", "report"])?;
     let app_name = args.get("app").ok_or("--app is required")?;
     let procs: usize = args.parse_or("procs", 64)?;
     let seed: u64 = args.parse_or("seed", 20131117)?;
     let objective = goal(args)?;
     let model = app_by_name(app_name, procs)?;
 
-    let spectrum = Spectrum::measure(&model.workload(), InstanceType::Cc2_8xlarge, seed)
-        .map_err(|e| e.to_string())?;
+    let metrics = Metrics::new();
+    let spectrum = {
+        let _span = metrics.span("phase.sweep");
+        Spectrum::measure(&model.workload(), InstanceType::Cc2_8xlarge, seed)
+            .map_err(|e| e.to_string())?
+    };
+    metrics.incr("sweep.candidates.measured", spectrum.entries.len() as u64);
 
     println!(
         "exhaustive sweep of {} candidates for {}-{procs} (sorted by {objective}):",
@@ -41,5 +46,8 @@ pub fn run(args: &Args) -> Result<(), String> {
         objective,
         spectrum.median_metric(objective)
     );
+    if args.flag("report") {
+        eprint!("{}", metrics.render());
+    }
     Ok(())
 }

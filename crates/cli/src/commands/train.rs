@@ -1,37 +1,76 @@
-//! `acic train` — collect a training database.
+//! `acic train` — collect a training database, fault-tolerantly.
 
 use crate::args::Args;
 use acic::reducer::reduce;
-use acic::{Objective, Trainer};
+use acic::training::CollectOptions;
+use acic::{Metrics, Objective, RetryPolicy, Trainer};
+use acic_fsim::FaultPlan;
+use std::path::Path;
 
 pub fn run(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["dims", "seed", "out", "ranking"])?;
+    args.reject_unknown(&[
+        "dims",
+        "seed",
+        "out",
+        "ranking",
+        "faults",
+        "resume",
+        "report",
+        "retries",
+        "allow-skips",
+    ])?;
     let dims: usize = args.parse_or("dims", 7)?;
     let seed: u64 = args.parse_or("seed", 20131117)?;
     if dims == 0 || dims > 15 {
         return Err("--dims must be in 1..=15".into());
     }
+    let faults = FaultPlan::parse(args.get_or("faults", "none"))?;
+    let retries: u32 = args.parse_or("retries", RetryPolicy::DEFAULT.max_retries)?;
+    let retry = RetryPolicy { max_retries: retries, ..RetryPolicy::DEFAULT };
 
     let trainer = match args.get_or("ranking", "paper") {
         "paper" => Trainer::with_paper_ranking(seed),
         "screen" => {
             let r = reduce(Objective::Performance, seed).map_err(|e| e.to_string())?;
-            Trainer { ranking: r.ranking, seed }
+            Trainer::new(r.ranking, seed)
         }
         other => return Err(format!("invalid --ranking {other:?} (paper or screen)")),
-    };
+    }
+    .with_faults(faults)
+    .with_retry(retry);
 
     eprintln!(
         "training over the top {dims} dimensions: {:?}...",
         &trainer.ranking[..dims.min(trainer.ranking.len())]
     );
-    let db = trainer.collect(dims).map_err(|e| e.to_string())?;
+    let points = trainer.sample_points(dims);
+    let metrics = Metrics::new();
+    let opts = CollectOptions {
+        journal: args.get("resume").map(Path::new),
+        metrics: Some(&metrics),
+        strict: false,
+    };
+    let collection = {
+        let _span = metrics.span("phase.train");
+        trainer.collect_with(&points, &opts).map_err(|e| e.to_string())?
+    };
+    let db = &collection.db;
+    let report = &collection.report;
     eprintln!(
-        "collected {} points ({:.0} simulated seconds, ${:.2})",
+        "collected {} points ({:.0} simulated seconds, ${:.2}){}",
         db.len(),
         db.collect_secs,
-        db.collect_cost_usd
+        db.collect_cost_usd,
+        if report.resumed > 0 {
+            format!(", {} restored from journal", report.resumed)
+        } else {
+            String::new()
+        }
     );
+    if args.flag("report") {
+        eprint!("{}", report.render());
+        eprint!("{}", metrics.render());
+    }
 
     match args.get("out") {
         Some(path) => {
@@ -39,6 +78,15 @@ pub fn run(args: &Args) -> Result<(), String> {
             eprintln!("database written to {path}");
         }
         None => print!("{}", db.to_text()),
+    }
+
+    if !report.skipped.is_empty() && !args.flag("allow-skips") {
+        return Err(format!(
+            "{} point(s) skipped after retries (first: {}); pass --allow-skips to accept a \
+             partial database",
+            report.skipped.len(),
+            report.skipped[0].error
+        ));
     }
     Ok(())
 }

@@ -275,10 +275,37 @@ impl Cluster {
     /// Append the storage path at server node `node` onto `out`.
     /// EBS arrays add the node NIC (tx for writes leaving the instance
     /// toward the EBS backend, rx for reads coming back).
+    ///
+    /// # Panics
+    /// Panics when the node carries no storage array; server topologies are
+    /// built by [`ClusterSpec`], so use [`Self::try_storage_path`] when the
+    /// node index comes from user-controlled data.
     pub fn storage_path(&self, node: usize, write: bool, out: &mut Vec<ResourceId>) {
-        let st = self.nodes[node]
-            .storage
+        self.try_storage_path(node, write, out)
             .expect("storage_path called on a node without storage");
+    }
+
+    /// Fallible variant of [`Self::storage_path`]: `Err` when `node` is out
+    /// of range or carries no storage array.
+    pub fn try_storage_path(
+        &self,
+        node: usize,
+        write: bool,
+        out: &mut Vec<ResourceId>,
+    ) -> Result<(), CloudSimError> {
+        let st = self
+            .nodes
+            .get(node)
+            .ok_or_else(|| {
+                CloudSimError::InvalidCluster(format!(
+                    "storage path requested on node {node}, cluster has {}",
+                    self.nodes.len()
+                ))
+            })?
+            .storage
+            .ok_or_else(|| {
+                CloudSimError::InvalidCluster(format!("node {node} carries no storage array"))
+            })?;
         if write {
             if st.via_nic {
                 out.push(self.nodes[node].net.tx);
@@ -290,6 +317,7 @@ impl Cluster {
                 out.push(self.nodes[node].net.rx);
             }
         }
+        Ok(())
     }
 
     /// Per-operation latency of the array at `node`.
@@ -353,6 +381,25 @@ mod tests {
         assert_eq!(c.io_server_nodes, vec![0, 1]);
         assert_eq!(c.nodes[0].role, NodeRole::Both);
         assert_eq!(c.nodes[3].role, NodeRole::Compute);
+    }
+
+    #[test]
+    fn try_storage_path_rejects_bad_nodes_instead_of_panicking() {
+        let mut sim = Simulation::new();
+        let mut rng = SplitMix64::new(1);
+        let c = Cluster::build(spec(Placement::Dedicated, 2), &mut sim, &mut rng).unwrap();
+        let mut out = Vec::new();
+        // A server node works and pushes the same path as the panicking API.
+        c.try_storage_path(4, true, &mut out).unwrap();
+        let mut reference = Vec::new();
+        c.storage_path(4, true, &mut reference);
+        assert_eq!(out, reference);
+        assert!(!out.is_empty());
+        // A compute node has no array; an out-of-range index is not a panic.
+        let err = c.try_storage_path(0, true, &mut out).unwrap_err();
+        assert!(err.to_string().contains("no storage array"), "{err}");
+        let err = c.try_storage_path(99, false, &mut out).unwrap_err();
+        assert!(err.to_string().contains("node 99"), "{err}");
     }
 
     #[test]

@@ -44,7 +44,7 @@ impl Acic {
     /// are used in the training", §5.3).
     pub fn bootstrap(top_n: usize, seed: u64) -> Result<Self, AcicError> {
         let reduction = reduce(Objective::Performance, seed)?;
-        let trainer = Trainer { ranking: reduction.ranking.clone(), seed };
+        let trainer = Trainer::new(reduction.ranking.clone(), seed);
         let mut db = trainer.collect(top_n)?;
         db.collect_cost_usd += reduction.screen_cost_usd;
         let predictor = Predictor::train(&db, seed)?;
@@ -121,7 +121,7 @@ impl Acic {
     /// Incremental training (§2 "expandability"): fold new user-contributed
     /// sample points into the database and refit the models.
     pub fn contribute(&mut self, points: &[SpacePoint]) -> Result<(), AcicError> {
-        let trainer = Trainer { ranking: self.ranking.clone(), seed: self.seed ^ 0xC0FFEE };
+        let trainer = Trainer::new(self.ranking.clone(), self.seed ^ 0xC0FFEE);
         let new = trainer.collect_points(points)?;
         self.db.merge(new);
         self.predictor = Predictor::train(&self.db, self.seed)?;

@@ -14,6 +14,36 @@ pub enum AcicError {
     Codec { line: usize, reason: String },
     /// No training data available for prediction.
     Untrained,
+    /// A filesystem operation on a training artifact failed.
+    Io {
+        /// The path being read or written.
+        path: String,
+        /// The underlying OS error, rendered.
+        reason: String,
+    },
+    /// A checkpoint journal is unusable (corrupt header, wrong campaign,
+    /// out-of-range entries).
+    Journal {
+        /// The journal path.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl AcicError {
+    /// True for errors that a bounded retry can plausibly clear — today,
+    /// only injected connection losses (paper §5.6 observation 5).  All
+    /// other errors are permanent: re-running the same deterministic
+    /// simulation cannot fix an invalid configuration.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, AcicError::Sim(CloudSimError::InjectedFault { .. }))
+    }
+
+    /// Wrap an I/O error with the path it happened on.
+    pub fn io(path: &std::path::Path, err: std::io::Error) -> Self {
+        AcicError::Io { path: path.display().to_string(), reason: err.to_string() }
+    }
 }
 
 impl fmt::Display for AcicError {
@@ -25,6 +55,10 @@ impl fmt::Display for AcicError {
                 write!(f, "training database parse error at line {line}: {reason}")
             }
             AcicError::Untrained => write!(f, "the prediction model has no training data"),
+            AcicError::Io { path, reason } => write!(f, "I/O error on {path}: {reason}"),
+            AcicError::Journal { path, reason } => {
+                write!(f, "unusable training journal {path}: {reason}")
+            }
         }
     }
 }
@@ -56,5 +90,33 @@ mod tests {
         let e = AcicError::Codec { line: 3, reason: "bad field".into() };
         assert!(e.to_string().contains("line 3"));
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn io_and_journal_variants_name_the_path() {
+        let e = AcicError::io(
+            std::path::Path::new("/nope/db.txt"),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "missing"),
+        );
+        assert!(e.to_string().contains("/nope/db.txt"));
+        assert!(e.to_string().contains("missing"));
+        let e = AcicError::Journal { path: "j.log".into(), reason: "wrong campaign".into() };
+        assert!(e.to_string().contains("j.log"));
+        assert!(e.to_string().contains("wrong campaign"));
+    }
+
+    #[test]
+    fn only_injected_faults_are_transient() {
+        let fault =
+            AcicError::Sim(CloudSimError::InjectedFault { time: 1.0, what: "lost conn".into() });
+        assert!(fault.is_transient());
+        for e in [
+            AcicError::Sim(CloudSimError::InvalidCluster("x".into())),
+            AcicError::Invalid("x".into()),
+            AcicError::Untrained,
+            AcicError::Codec { line: 1, reason: "r".into() },
+        ] {
+            assert!(!e.is_transient(), "{e} must be permanent");
+        }
     }
 }

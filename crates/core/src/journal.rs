@@ -1,0 +1,394 @@
+//! Append-only checkpoint journal for training campaigns.
+//!
+//! The paper's training runs lost I/O-server connections roughly hourly
+//! (§5.6 observation 5); a campaign that is hours of simulated benchmarking
+//! long must survive being killed.  Every completed (or abandoned) point is
+//! appended to a text journal as soon as it finishes, and a restarted
+//! campaign replays the journal instead of re-running those points.
+//! Because every run is deterministic per `(campaign, point, attempt)`,
+//! a resumed campaign reconstructs the *bit-identical* database an
+//! uninterrupted run would have produced.
+//!
+//! Format (line-oriented, reusing the `TrainingDb::to_text` row framing):
+//!
+//! ```text
+//! acic-journal v1
+//! campaign seed=<u64> points=<count> fingerprint=<16 hex digits>
+//! ok	<index>	<secs>	<cost>	<17 tab-separated training-point fields>
+//! skip	<index>	<attempts>	<secs>	<cost>	<reason>
+//! ```
+//!
+//! A torn final line (the process died mid-append) is tolerated and
+//! ignored; any other malformed content is a typed [`AcicError::Journal`].
+
+use crate::error::AcicError;
+use crate::training::{point_from_fields, point_to_line, TrainingPoint};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Journal format version line.
+pub const JOURNAL_VERSION: &str = "acic-journal v1";
+
+/// Identity of a campaign: a journal may only resume the exact campaign
+/// that wrote it (same seed, same point list, same fault/retry plans —
+/// all folded into the fingerprint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignId {
+    /// The trainer's root seed.
+    pub seed: u64,
+    /// Number of points in the campaign plan.
+    pub points: usize,
+    /// Hash of the point list plus fault and retry configuration.
+    pub fingerprint: u64,
+}
+
+impl CampaignId {
+    fn header(&self) -> String {
+        format!(
+            "{JOURNAL_VERSION}\ncampaign seed={} points={} fingerprint={:016x}\n",
+            self.seed, self.points, self.fingerprint
+        )
+    }
+}
+
+/// One journaled per-point outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEntry {
+    /// The point produced a training observation.
+    Ok {
+        /// Index in the campaign's point list.
+        index: usize,
+        /// Simulated seconds charged to the campaign for this point.
+        secs: f64,
+        /// Simulated USD charged to the campaign for this point.
+        cost: f64,
+        /// The observation itself.
+        point: TrainingPoint,
+    },
+    /// The point was abandoned.
+    Skip {
+        /// Index in the campaign's point list.
+        index: usize,
+        /// Runs attempted before giving up.
+        attempts: u32,
+        /// Simulated seconds still charged (wasted attempts + backoff).
+        secs: f64,
+        /// Simulated USD still charged.
+        cost: f64,
+        /// Rendered terminal error.
+        reason: String,
+    },
+}
+
+impl JournalEntry {
+    /// The campaign point index this entry records.
+    pub fn index(&self) -> usize {
+        match self {
+            JournalEntry::Ok { index, .. } | JournalEntry::Skip { index, .. } => *index,
+        }
+    }
+
+    fn to_line(&self) -> String {
+        match self {
+            JournalEntry::Ok { index, secs, cost, point } => {
+                format!("ok\t{index}\t{secs}\t{cost}\t{}", point_to_line(point))
+            }
+            JournalEntry::Skip { index, attempts, secs, cost, reason } => {
+                let clean: String =
+                    reason.chars().map(|c| if c == '\t' || c == '\n' { ' ' } else { c }).collect();
+                format!("skip\t{index}\t{attempts}\t{secs}\t{cost}\t{clean}")
+            }
+        }
+    }
+
+    fn parse(line: &str, lineno: usize) -> Result<JournalEntry, String> {
+        let f: Vec<&str> = line.split('\t').collect();
+        let bad = |what: &str| format!("line {lineno}: {what}");
+        let index = |s: &str| s.parse::<usize>().map_err(|_| bad("bad index"));
+        let num = |s: &str, what: &str| s.parse::<f64>().map_err(|_| bad(what));
+        match f.first().copied() {
+            Some("ok") => {
+                if f.len() != 4 + 17 {
+                    return Err(bad("ok entry needs 21 tab-separated fields"));
+                }
+                let point = point_from_fields(&f[4..], lineno)
+                    .map_err(|e| bad(&format!("bad point: {e}")))?;
+                Ok(JournalEntry::Ok {
+                    index: index(f[1])?,
+                    secs: num(f[2], "bad secs")?,
+                    cost: num(f[3], "bad cost")?,
+                    point,
+                })
+            }
+            Some("skip") => {
+                if f.len() < 6 {
+                    return Err(bad("skip entry needs 6 tab-separated fields"));
+                }
+                Ok(JournalEntry::Skip {
+                    index: index(f[1])?,
+                    attempts: f[2].parse().map_err(|_| bad("bad attempts"))?,
+                    secs: num(f[3], "bad secs")?,
+                    cost: num(f[4], "bad cost")?,
+                    reason: f[5..].join("\t"),
+                })
+            }
+            _ => Err(bad("unknown entry kind")),
+        }
+    }
+}
+
+/// Restored journal contents: completed/abandoned entries by point index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalState {
+    /// One entry per journaled point (duplicates keep the first record).
+    pub entries: BTreeMap<usize, JournalEntry>,
+}
+
+/// Append-side handle; safe to share across worker threads.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl JournalWriter {
+    /// Start a fresh journal (truncates any existing file) and write the
+    /// campaign header.
+    pub fn create(path: &Path, id: &CampaignId) -> Result<Self, AcicError> {
+        let mut file = std::fs::File::create(path).map_err(|e| AcicError::io(path, e))?;
+        file.write_all(id.header().as_bytes()).map_err(|e| AcicError::io(path, e))?;
+        Ok(Self { path: path.to_path_buf(), file: Mutex::new(file) })
+    }
+
+    /// Open an existing journal for appending (resume).
+    pub fn append_to(path: &Path) -> Result<Self, AcicError> {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| AcicError::io(path, e))?;
+        Ok(Self { path: path.to_path_buf(), file: Mutex::new(file) })
+    }
+
+    /// Append one entry; the line is written in a single `write_all` so a
+    /// kill can only tear the final line.
+    pub fn append(&self, entry: &JournalEntry) -> Result<(), AcicError> {
+        let mut line = entry.to_line();
+        line.push('\n');
+        self.file
+            .lock()
+            .write_all(line.as_bytes())
+            .map_err(|e| AcicError::io(&self.path, e))
+    }
+}
+
+/// Load and validate a journal against the campaign about to run.
+pub fn load(path: &Path, expected: &CampaignId) -> Result<JournalState, AcicError> {
+    let text = std::fs::read_to_string(path).map_err(|e| AcicError::io(path, e))?;
+    parse(&text, expected)
+        .map_err(|reason| AcicError::Journal { path: path.display().to_string(), reason })
+}
+
+fn parse(text: &str, expected: &CampaignId) -> Result<JournalState, String> {
+    let complete_tail = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return Err("empty journal".into());
+    }
+    if lines[0].trim() != JOURNAL_VERSION {
+        return Err(format!("unknown version header {:?}", lines[0]));
+    }
+    let header = lines.get(1).ok_or("missing campaign line")?;
+    let written = parse_campaign_line(header)?;
+    if written != *expected {
+        return Err(format!(
+            "journal belongs to a different campaign \
+             (journal seed={} points={} fingerprint={:016x}, \
+             expected seed={} points={} fingerprint={:016x}); \
+             delete the journal to start over",
+            written.seed,
+            written.points,
+            written.fingerprint,
+            expected.seed,
+            expected.points,
+            expected.fingerprint
+        ));
+    }
+
+    let mut state = JournalState::default();
+    for (i, line) in lines.iter().enumerate().skip(2) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let is_torn_tail = i + 1 == lines.len() && !complete_tail;
+        let entry = match JournalEntry::parse(line, i + 1) {
+            Ok(e) => e,
+            Err(_) if is_torn_tail => break, // the process died mid-append
+            Err(e) => return Err(e),
+        };
+        if entry.index() >= expected.points {
+            if is_torn_tail {
+                break;
+            }
+            return Err(format!(
+                "line {}: point index {} out of range (campaign has {} points)",
+                i + 1,
+                entry.index(),
+                expected.points
+            ));
+        }
+        state.entries.entry(entry.index()).or_insert(entry);
+    }
+    Ok(state)
+}
+
+fn parse_campaign_line(line: &str) -> Result<CampaignId, String> {
+    let rest = line.strip_prefix("campaign ").ok_or("malformed campaign line")?;
+    let mut seed = None;
+    let mut points = None;
+    let mut fingerprint = None;
+    for field in rest.split_whitespace() {
+        let (key, value) = field.split_once('=').ok_or("malformed campaign field")?;
+        match key {
+            "seed" => seed = Some(value.parse::<u64>().map_err(|_| "bad seed")?),
+            "points" => points = Some(value.parse::<usize>().map_err(|_| "bad points")?),
+            "fingerprint" => {
+                fingerprint = Some(u64::from_str_radix(value, 16).map_err(|_| "bad fingerprint")?)
+            }
+            _ => return Err(format!("unknown campaign field {key:?}")),
+        }
+    }
+    Ok(CampaignId {
+        seed: seed.ok_or("missing seed")?,
+        points: points.ok_or("missing points")?,
+        fingerprint: fingerprint.ok_or("missing fingerprint")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpacePoint;
+
+    fn tmp_dir() -> PathBuf {
+        let d = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/test-journals");
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_point() -> TrainingPoint {
+        let p = SpacePoint::default_point();
+        TrainingPoint {
+            system: p.system,
+            app: p.app,
+            perf_improvement: 1.25,
+            cost_improvement: 0.75,
+        }
+    }
+
+    fn id() -> CampaignId {
+        CampaignId { seed: 7, points: 4, fingerprint: 0xDEADBEEF }
+    }
+
+    #[test]
+    fn entries_round_trip_through_lines() {
+        let ok = JournalEntry::Ok { index: 2, secs: 123.456, cost: 0.789, point: sample_point() };
+        let skip = JournalEntry::Skip {
+            index: 3,
+            attempts: 4,
+            secs: 70.5,
+            cost: 0.25,
+            reason: "lost connection\twith tab".into(),
+        };
+        let ok2 = JournalEntry::parse(&ok.to_line(), 3).unwrap();
+        assert_eq!(ok, ok2);
+        // Tabs in the reason are sanitized to spaces on write.
+        let skip2 = JournalEntry::parse(&skip.to_line(), 4).unwrap();
+        match skip2 {
+            JournalEntry::Skip { index: 3, attempts: 4, ref reason, .. } => {
+                assert_eq!(reason, "lost connection with tab");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_then_load_restores_entries() {
+        let path = tmp_dir().join("roundtrip.journal");
+        let id = id();
+        let w = JournalWriter::create(&path, &id).unwrap();
+        let e0 = JournalEntry::Ok { index: 0, secs: 1.5, cost: 0.1, point: sample_point() };
+        let e3 = JournalEntry::Skip { index: 3, attempts: 2, secs: 9.0, cost: 0.0, reason: "x".into() };
+        w.append(&e0).unwrap();
+        w.append(&e3).unwrap();
+        let state = load(&path, &id).unwrap();
+        assert_eq!(state.entries.len(), 2);
+        assert_eq!(state.entries[&0], e0);
+        assert_eq!(state.entries[&3], e3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_ignored() {
+        let path = tmp_dir().join("torn.journal");
+        let id = id();
+        let w = JournalWriter::create(&path, &id).unwrap();
+        let e0 = JournalEntry::Ok { index: 0, secs: 1.5, cost: 0.1, point: sample_point() };
+        w.append(&e0).unwrap();
+        drop(w);
+        // Simulate a mid-append kill: half an entry, no trailing newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("ok\t1\t2.5");
+        std::fs::write(&path, &text).unwrap();
+        let state = load(&path, &id).unwrap();
+        assert_eq!(state.entries.len(), 1, "torn tail must be dropped");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_campaign_is_a_typed_journal_error() {
+        let path = tmp_dir().join("mismatch.journal");
+        let id = id();
+        JournalWriter::create(&path, &id).unwrap();
+        let other = CampaignId { fingerprint: 1, ..id };
+        match load(&path, &other) {
+            Err(AcicError::Journal { reason, .. }) => {
+                assert!(reason.contains("different campaign"), "{reason}");
+            }
+            other => panic!("expected Journal error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_bodies_are_typed_errors() {
+        let id = id();
+        assert!(parse("", &id).is_err());
+        assert!(parse("acic-journal v2\n", &id).is_err());
+        assert!(parse(&format!("{JOURNAL_VERSION}\n"), &id).is_err());
+        // A completed (newline-terminated) garbage line is NOT torn — error.
+        let text = format!("{}garbage\tline\n", id_header(&id));
+        assert!(parse(&text, &id).is_err());
+        // Out-of-range index.
+        let e = JournalEntry::Skip { index: 99, attempts: 1, secs: 0.0, cost: 0.0, reason: "r".into() };
+        let text = format!("{}{}\n", id_header(&id), e.to_line());
+        match parse(&text, &id) {
+            Err(reason) => assert!(reason.contains("out of range"), "{reason}"),
+            Ok(_) => panic!("out-of-range index must be rejected"),
+        }
+    }
+
+    fn id_header(id: &CampaignId) -> String {
+        id.header()
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let path = tmp_dir().join("definitely-not-there.journal");
+        match load(&path, &id()) {
+            Err(AcicError::Io { path: p, .. }) => assert!(p.contains("definitely-not-there")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

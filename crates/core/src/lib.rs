@@ -39,10 +39,13 @@
 pub mod acic;
 pub mod error;
 pub mod features;
+pub mod journal;
 pub mod objective;
+pub mod obs;
 pub mod predictor;
 pub mod profile;
 pub mod reducer;
+pub mod resilience;
 pub mod space;
 pub mod sweep;
 pub mod training;
@@ -52,7 +55,9 @@ pub mod walk;
 pub use crate::acic::{Acic, Recommendation};
 pub use error::AcicError;
 pub use objective::Objective;
+pub use obs::Metrics;
 pub use predictor::Predictor;
+pub use resilience::{Collection, CollectionReport, RetryPolicy, SkippedPoint};
 pub use space::{AppPoint, ParamId, SystemConfig};
-pub use training::{Trainer, TrainingDb, TrainingPoint};
+pub use training::{CollectOptions, Trainer, TrainingDb, TrainingPoint};
 pub use verify::{verify_top_k, Verification, VerifiedCandidate};

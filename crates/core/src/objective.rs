@@ -65,6 +65,7 @@ mod tests {
                 compute_secs: 0.0,
                 phase_secs: vec![],
                 faults: 0,
+                fault_secs: 0.0,
             },
             bandwidth_bps: 0.0,
             cost,

@@ -1,0 +1,163 @@
+//! Lightweight observability: named counters, accumulated durations, and
+//! span-style timers.
+//!
+//! Training campaigns run "dozens to hundreds of hours" of simulated
+//! benchmarking (paper §2); operating that at production scale needs to
+//! know *what the pipeline is doing* — points attempted, runs retried,
+//! points skipped, time per phase — without dragging in an external
+//! metrics stack.  [`Metrics`] is a cheap, thread-safe registry the
+//! trainer, the CLI commands, and the benches all share; everything it
+//! records is rendered as a sorted text block so reports stay diffable.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    /// name → (observation count, accumulated seconds).
+    timers: BTreeMap<String, (u64, f64)>,
+}
+
+/// A shareable metrics registry (clones observe the same underlying data).
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to a named counter.
+    pub fn incr(&self, name: &str, by: u64) {
+        if by == 0 {
+            return;
+        }
+        *self.inner.lock().counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Record a duration observation (wall clock or simulated seconds —
+    /// the name should say which, e.g. `train.sim_secs`).
+    pub fn observe_secs(&self, name: &str, secs: f64) {
+        let mut inner = self.inner.lock();
+        let e = inner.timers.entry(name.to_string()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += secs;
+    }
+
+    /// Start a wall-clock span; the elapsed time is recorded when the
+    /// returned guard drops.
+    pub fn span(&self, name: &str) -> Span {
+        Span { metrics: self.clone(), name: name.to_string(), start: Instant::now() }
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Accumulated seconds of a timer (0 when never touched).
+    pub fn total_secs(&self, name: &str) -> f64 {
+        self.inner.lock().timers.get(name).map(|(_, s)| *s).unwrap_or(0.0)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.counters.is_empty() && inner.timers.is_empty()
+    }
+
+    /// Render everything recorded as a sorted, aligned text block.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let inner = self.inner.lock();
+        let mut s = String::new();
+        if !inner.counters.is_empty() {
+            writeln!(s, "counters:").unwrap();
+            for (name, v) in &inner.counters {
+                writeln!(s, "  {name:<36} {v}").unwrap();
+            }
+        }
+        if !inner.timers.is_empty() {
+            writeln!(s, "timings:").unwrap();
+            for (name, (n, secs)) in &inner.timers {
+                writeln!(s, "  {name:<36} {secs:>10.3}s over {n} observation(s)").unwrap();
+            }
+        }
+        s
+    }
+}
+
+/// A live span; records its wall-clock lifetime into the registry on drop.
+#[derive(Debug)]
+pub struct Span {
+    metrics: Metrics,
+    name: String,
+    start: Instant,
+}
+
+impl Span {
+    /// Seconds elapsed so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let secs = self.elapsed_secs();
+        self.metrics.observe_secs(&self.name, secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = Metrics::new();
+        assert!(m.is_empty());
+        m.incr("points.attempted", 3);
+        m.incr("points.attempted", 2);
+        m.incr("points.skipped", 0); // no-op, stays unrecorded
+        assert_eq!(m.counter("points.attempted"), 5);
+        assert_eq!(m.counter("points.skipped"), 0);
+        let r = m.render();
+        assert!(r.contains("points.attempted"), "{r}");
+        assert!(!r.contains("points.skipped"), "{r}");
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let m = Metrics::new();
+        let c = m.clone();
+        c.incr("x", 1);
+        assert_eq!(m.counter("x"), 1);
+    }
+
+    #[test]
+    fn spans_record_elapsed_time_on_drop() {
+        let m = Metrics::new();
+        {
+            let _s = m.span("phase.test");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(m.total_secs("phase.test") > 0.0);
+        assert!(m.render().contains("phase.test"));
+    }
+
+    #[test]
+    fn observed_seconds_sum_across_observations() {
+        let m = Metrics::new();
+        m.observe_secs("train.sim_secs", 1.5);
+        m.observe_secs("train.sim_secs", 2.5);
+        assert_eq!(m.total_secs("train.sim_secs"), 4.0);
+        assert!(m.render().contains("2 observation(s)"));
+    }
+}

@@ -51,11 +51,15 @@ impl Predictor {
     ///
     /// # Panics
     /// Panics when the predictor was trained with a non-CART model; use
-    /// [`Self::model`] for algorithm-agnostic access.
+    /// [`Self::try_tree`] or [`Self::model`] for algorithm-agnostic access.
     pub fn tree(&self, objective: Objective) -> &Tree {
-        self.model(objective)
-            .as_tree()
-            .expect("tree() requires a CART-backed predictor")
+        self.try_tree(objective).expect("tree() requires a CART-backed predictor")
+    }
+
+    /// The underlying tree, or `None` when the predictor was trained with a
+    /// non-CART model (forest, k-NN).
+    pub fn try_tree(&self, objective: Objective) -> Option<&Tree> {
+        self.model(objective).as_tree()
     }
 
     /// Predicted improvement (baseline ÷ candidate; > 1 beats baseline) of
@@ -156,6 +160,17 @@ mod tests {
             Predictor::train(&TrainingDb::default(), 1),
             Err(AcicError::Untrained)
         ));
+    }
+
+    #[test]
+    fn try_tree_is_some_only_for_cart_models() {
+        let db = small_db();
+        let p = Predictor::train(&db, 1).unwrap();
+        assert!(p.try_tree(Objective::Performance).is_some());
+        assert!(p.try_tree(Objective::Cost).is_some());
+        let p = Predictor::train_with(&db, 1, acic_cart::ModelKind::Knn { k: 3 }).unwrap();
+        assert!(p.try_tree(Objective::Performance).is_none());
+        assert!(p.try_tree(Objective::Cost).is_none());
     }
 
     #[test]

@@ -91,6 +91,14 @@ impl Spectrum {
     ) -> Result<Spectrum, AcicError> {
         let valid: Vec<&SystemConfig> =
             candidates.iter().filter(|c| c.valid_for(workload.nprocs)).collect();
+        if valid.is_empty() {
+            // Guarantees every constructed Spectrum is non-empty, which is
+            // what lets best()/median_metric() index without panicking.
+            return Err(AcicError::Invalid(format!(
+                "no candidate configuration can deploy {} processes",
+                workload.nprocs
+            )));
+        }
         let entries: Result<Vec<SweepEntry>, AcicError> = valid
             .par_iter()
             .enumerate()
@@ -168,6 +176,25 @@ mod tests {
         for e in &s.entries {
             assert!(e.config.valid_for(32));
         }
+    }
+
+    #[test]
+    fn empty_candidate_set_is_a_typed_error_not_a_panic() {
+        let app = MadBench2::paper(64);
+        let w = app.workload();
+        let err = Spectrum::measure_candidates(&[], &w, 1, &FsParams::default()).unwrap_err();
+        assert!(matches!(err, AcicError::Invalid(_)));
+        assert!(err.to_string().contains("no candidate"), "{err}");
+
+        // Valid-for filtering, not just an empty slice: a candidate list
+        // where nothing can deploy the process count.
+        let undeployable: Vec<SystemConfig> = SystemConfig::candidates(InstanceType::Cc2_8xlarge)
+            .into_iter()
+            .filter(|c| !c.valid_for(w.nprocs))
+            .collect();
+        let err =
+            Spectrum::measure_candidates(&undeployable, &w, 1, &FsParams::default()).unwrap_err();
+        assert!(matches!(err, AcicError::Invalid(_)));
     }
 
     #[test]

@@ -6,17 +6,33 @@
 //! point records the *improvement over the baseline configuration* rather
 //! than an absolute metric, which is what lets IOR training transfer to
 //! applications that report performance differently (§4.2).
+//!
+//! Collection is fault-tolerant and restartable (§5.6 observation 5: the
+//! authors lost I/O-server connections about hourly during training).  The
+//! trainer carries a [`FaultPlan`] and a [`RetryPolicy`]; aborted runs are
+//! retried on deterministic derived seeds with exponential-backoff
+//! *accounting*, unsalvageable points are skipped and recorded in a
+//! [`CollectionReport`], and an optional append-only journal
+//! ([`crate::journal`]) checkpoints every finished point so a killed
+//! campaign resumes bit-identically.
 
 use crate::error::AcicError;
 use crate::features::encode;
+use crate::journal::{self, CampaignId, JournalEntry, JournalWriter};
 use crate::objective::Objective;
+use crate::obs::Metrics;
+use crate::resilience::{Collection, CollectionReport, RetryPolicy, SkippedPoint};
 use crate::space::{AppPoint, ParamId, SpacePoint, SystemConfig};
 use acic_cart::Dataset;
+use acic_cloudsim::error::CloudSimError;
+use acic_cloudsim::pricing::CostModel;
 use acic_cloudsim::rng::SplitMix64;
-use acic_iobench::{run_ior, IorReport};
+use acic_fsim::{FaultPlan, IoSystem};
+use acic_iobench::{run_ior_faulted, IorConfig, IorReport};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
+use std::path::Path;
 
 /// One training observation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,7 +53,8 @@ pub struct TrainingDb {
     /// All observations.
     pub points: Vec<TrainingPoint>,
     /// Simulated wall-clock spent collecting, seconds (the "dozens to
-    /// hundreds of hours" of §2).
+    /// hundreds of hours" of §2; includes retry waste and backoff when
+    /// faults are injected).
     pub collect_secs: f64,
     /// Simulated money spent collecting, USD (Figure 8's right axis).
     pub collect_cost_usd: f64,
@@ -84,6 +101,20 @@ impl TrainingDb {
     }
 }
 
+/// Options controlling a collection campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CollectOptions<'a> {
+    /// Checkpoint journal: created when the file is absent, resumed when
+    /// present (the resumed campaign must be identical — same seed, point
+    /// list, fault plan, and retry policy).
+    pub journal: Option<&'a Path>,
+    /// Observability sink for counters and time accounting.
+    pub metrics: Option<&'a Metrics>,
+    /// Return the first unrecoverable point's error instead of recording
+    /// skips (the legacy `collect_points` behavior).
+    pub strict: bool,
+}
+
 /// Collects training data by running the IOR workalike over PB-guided
 /// samples of the exploration space.
 #[derive(Debug, Clone)]
@@ -93,14 +124,36 @@ pub struct Trainer {
     pub ranking: Vec<ParamId>,
     /// Root seed for per-run jitter.
     pub seed: u64,
+    /// Failure injection applied to every simulated run (off by default).
+    pub faults: FaultPlan,
+    /// Retry/skip policy for failed runs.
+    pub retry: RetryPolicy,
 }
 
 impl Trainer {
+    /// A trainer with an explicit ranking, no fault injection, and the
+    /// default retry policy.
+    pub fn new(ranking: Vec<ParamId>, seed: u64) -> Self {
+        Self { ranking, seed, faults: FaultPlan::NONE, retry: RetryPolicy::DEFAULT }
+    }
+
     /// A trainer using the paper's published Table 1 ranking.
     pub fn with_paper_ranking(seed: u64) -> Self {
         let mut ranking = ParamId::ALL.to_vec();
         ranking.sort_by_key(|p| p.paper_rank());
-        Self { ranking, seed }
+        Self::new(ranking, seed)
+    }
+
+    /// Inject failures into every collection run (paper §5.6 obs 5).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the retry/skip policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The sampled grid over the `top_n` most important parameters
@@ -147,45 +200,196 @@ impl Trainer {
     }
 
     /// Run an explicit list of points (used for incremental contributions).
+    /// Fails fast on the first unrecoverable point.
     pub fn collect_points(&self, points: &[SpacePoint]) -> Result<TrainingDb, AcicError> {
-        let root = SplitMix64::new(self.seed);
-        // Baseline runs, one per distinct app half, cached.
-        let baseline_cache: Mutex<BTreeMap<Vec<u64>, IorReport>> = Mutex::new(BTreeMap::new());
-        let baseline_sys = SystemConfig::baseline();
+        let opts = CollectOptions { strict: true, ..Default::default() };
+        Ok(self.collect_with(points, &opts)?.db)
+    }
 
-        let results: Result<Vec<(TrainingPoint, f64, f64)>, AcicError> = points
+    /// The identity of a campaign over `points`: the root seed, the point
+    /// list, and the fault/retry configuration (anything that changes the
+    /// collected bits changes the fingerprint).
+    pub fn campaign_id(&self, points: &[SpacePoint]) -> CampaignId {
+        let mut words: Vec<u64> = vec![
+            self.seed,
+            self.faults.phase_fail_prob.to_bits(),
+            self.faults.retry_penalty_secs.to_bits(),
+            self.faults.abort_prob.to_bits(),
+            u64::from(self.retry.max_retries),
+            self.retry.backoff_base_secs.to_bits(),
+            self.retry.backoff_factor.to_bits(),
+            self.retry.point_budget_secs.to_bits(),
+            points.len() as u64,
+        ];
+        for p in points {
+            words.extend(point_bits(p));
+        }
+        CampaignId { seed: self.seed, points: points.len(), fingerprint: fnv1a(&words) }
+    }
+
+    /// The full fault-tolerant collection engine: run `points` under the
+    /// trainer's fault plan with bounded deterministic retries, optionally
+    /// checkpointing every finished point to (and resuming from) a journal.
+    ///
+    /// The returned database is bit-identical for a given campaign at any
+    /// worker count, whether run straight through or killed and resumed —
+    /// every attempt's seed is a pure function of `(campaign seed, point
+    /// index, attempt)`, and assembly always walks points in index order.
+    pub fn collect_with(
+        &self,
+        points: &[SpacePoint],
+        opts: &CollectOptions,
+    ) -> Result<Collection, AcicError> {
+        let id = self.campaign_id(points);
+        let mut restored: BTreeMap<usize, JournalEntry> = BTreeMap::new();
+        let writer = match opts.journal {
+            None => None,
+            Some(path) if path.exists() => {
+                restored = journal::load(path, &id)?.entries;
+                Some(JournalWriter::append_to(path)?)
+            }
+            Some(path) => Some(JournalWriter::create(path, &id)?),
+        };
+
+        let root = SplitMix64::new(self.seed);
+        let baseline_sys = SystemConfig::baseline();
+        let baseline_cache: Mutex<BTreeMap<Vec<u64>, BaselineEntry>> = Mutex::new(BTreeMap::new());
+
+        let todo: Vec<usize> = (0..points.len()).filter(|i| !restored.contains_key(i)).collect();
+        let fresh: Result<Vec<PointRun>, AcicError> = todo
             .par_iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let seed = root.derive(i as u64).next_u64();
-                let app_key = app_bits(&p.app);
-                // The baseline seed must be a function of the app key, not
-                // of the point index: two points sharing an app half can
-                // race to fill the cache, and an index-derived seed would
-                // make the cached report depend on which thread won.
-                let baseline_seed = {
-                    let mut r = root.derive(u64::MAX);
-                    for &w in &app_key {
-                        r = r.derive(w);
+            .map(|&i| {
+                let run =
+                    self.run_point(i, &points[i], &root, &baseline_sys, &baseline_cache);
+                if let Some(w) = &writer {
+                    w.append(&run.to_journal_entry())?;
+                }
+                Ok(run)
+            })
+            .collect();
+        let fresh = fresh?;
+
+        // Deterministic assembly: walk points in index order so sums (and
+        // therefore the database bits) never depend on scheduling.
+        let mut slots: Vec<Option<PointRun>> = vec![None; points.len()];
+        for (index, entry) in restored {
+            slots[index] = Some(PointRun::from_journal(entry));
+        }
+        for run in fresh {
+            let ix = run.index;
+            slots[ix] = Some(run);
+        }
+
+        let mut db = TrainingDb::default();
+        let mut report = CollectionReport { planned: points.len(), ..Default::default() };
+        for slot in slots {
+            let run = slot.expect("every campaign point has exactly one run");
+            if run.resumed {
+                report.resumed += 1;
+            }
+            match run.tp {
+                Some(tp) => {
+                    if !run.resumed {
+                        report.completed += 1;
                     }
-                    r.next_u64()
+                    db.points.push(tp);
+                }
+                None => report.skipped.push(SkippedPoint {
+                    index: run.index,
+                    attempts: run.attempts,
+                    error: run
+                        .error
+                        .clone()
+                        .unwrap_or_else(|| AcicError::Invalid("unrecorded failure".into())),
+                }),
+            }
+            db.collect_secs += run.secs;
+            db.collect_cost_usd += run.cost;
+            report.retries += run.retries as usize;
+            report.aborts += run.aborts as usize;
+            report.faults_tolerated += run.faults;
+            report.backoff_secs += run.backoff_secs;
+            report.wasted_secs += run.wasted_secs;
+            report.wasted_cost_usd += run.wasted_cost;
+            report.sim_secs += run.sim_secs;
+        }
+        // Baseline overhead is keyed per distinct app half, so it is
+        // reported once per baseline (BTreeMap order keeps it stable).
+        for (_, b) in baseline_cache.into_inner() {
+            report.baseline_runs += 1;
+            report.retries += b.retries as usize;
+            report.aborts += b.aborts as usize;
+            report.backoff_secs += b.backoff_secs;
+            report.wasted_secs += b.wasted_secs;
+            report.wasted_cost_usd += b.wasted_cost;
+            if b.result.is_ok() {
+                report.faults_tolerated += b.faults;
+            }
+        }
+
+        if let Some(m) = opts.metrics {
+            m.incr("train.points.attempted", (report.planned - report.resumed) as u64);
+            m.incr("train.points.completed", report.completed as u64);
+            m.incr("train.points.resumed", report.resumed as u64);
+            m.incr("train.points.skipped", report.skipped.len() as u64);
+            m.incr("train.runs.retried", report.retries as u64);
+            m.incr("train.runs.aborted", report.aborts as u64);
+            m.incr("train.faults.tolerated", report.faults_tolerated as u64);
+            m.incr("train.baseline.runs", report.baseline_runs as u64);
+            m.incr("train.db.points", db.len() as u64);
+            m.observe_secs("train.sim_secs", db.collect_secs);
+            m.observe_secs("train.backoff_secs", report.backoff_secs);
+        }
+
+        if opts.strict {
+            if let Some(sk) = report.skipped.first() {
+                return Err(sk.error.clone());
+            }
+        }
+        Ok(Collection { db, report })
+    }
+
+    /// Collect one point: baseline (cached per app half) plus the sampled
+    /// configuration, both under the fault plan with bounded retries.
+    fn run_point(
+        &self,
+        i: usize,
+        p: &SpacePoint,
+        root: &SplitMix64,
+        baseline_sys: &SystemConfig,
+        baseline_cache: &Mutex<BTreeMap<Vec<u64>, BaselineEntry>>,
+    ) -> PointRun {
+        let app_key = app_bits(&p.app);
+        let baseline = self.baseline_for(root, baseline_sys, &p.app, &app_key, baseline_cache);
+        let baseline = match baseline {
+            Ok(r) => r,
+            Err(e) => {
+                // The whole app half is uncollectable; charge nothing here
+                // (the baseline's own waste is reported once per app key).
+                return PointRun {
+                    index: i,
+                    attempts: 0,
+                    error: Some(e),
+                    ..PointRun::empty(i)
                 };
-                let baseline = {
-                    let cached = baseline_cache.lock().get(&app_key).cloned();
-                    match cached {
-                        Some(r) => r,
-                        None => {
-                            let r = run_ior(
-                                &baseline_sys.to_io_system(p.app.nprocs),
-                                &p.app.to_ior(),
-                                baseline_seed,
-                            )?;
-                            baseline_cache.lock().insert(app_key, r.clone());
-                            r
-                        }
-                    }
-                };
-                let report = run_ior(&p.system.to_io_system(p.app.nprocs), &p.app.to_ior(), seed)?;
+            }
+        };
+
+        let sys = p.system.to_io_system(p.app.nprocs);
+        let cost_of = cost_fn(&sys);
+        // Attempt 0 keeps the historical seed derivation (bit-compat with
+        // fault-free campaigns); retries derive fresh deterministic seeds.
+        let point_rng = root.derive(i as u64);
+        let seed_of = |attempt: u32| {
+            if attempt == 0 {
+                point_rng.clone().next_u64()
+            } else {
+                point_rng.derive(u64::from(attempt)).next_u64()
+            }
+        };
+        let run = retry_run(&sys, &p.app.to_ior(), seed_of, self.faults, &self.retry, &cost_of);
+        match run.result {
+            Ok(report) => {
                 let tp = TrainingPoint {
                     system: p.system,
                     app: p.app,
@@ -193,19 +397,341 @@ impl Trainer {
                         .improvement(baseline.secs(), report.secs()),
                     cost_improvement: Objective::Cost.improvement(baseline.cost, report.cost),
                 };
-                Ok((tp, report.secs() + baseline.secs(), report.cost + baseline.cost))
-            })
-            .collect();
-
-        let results = results?;
-        let mut db = TrainingDb::default();
-        for (tp, secs, cost) in results {
-            db.points.push(tp);
-            db.collect_secs += secs;
-            db.collect_cost_usd += cost;
+                let sim = report.secs() + baseline.secs();
+                PointRun {
+                    index: i,
+                    tp: Some(tp),
+                    secs: sim + run.wasted_secs + run.backoff_secs,
+                    cost: report.cost + baseline.cost + run.wasted_cost,
+                    sim_secs: sim,
+                    attempts: run.retries + 1,
+                    retries: run.retries,
+                    aborts: run.aborts,
+                    faults: report.outcome.faults,
+                    backoff_secs: run.backoff_secs,
+                    wasted_secs: run.wasted_secs,
+                    wasted_cost: run.wasted_cost,
+                    error: None,
+                    resumed: false,
+                }
+            }
+            Err(e) => PointRun {
+                index: i,
+                secs: run.wasted_secs + run.backoff_secs,
+                cost: run.wasted_cost,
+                attempts: run.retries + 1,
+                retries: run.retries,
+                aborts: run.aborts,
+                backoff_secs: run.backoff_secs,
+                wasted_secs: run.wasted_secs,
+                wasted_cost: run.wasted_cost,
+                error: Some(e),
+                ..PointRun::empty(i)
+            },
         }
-        Ok(db)
     }
+
+    /// Baseline runs, one per distinct app half, cached.  The result (and
+    /// its retry accounting) is a pure function of the app key, so cache
+    /// races between workers cannot change the outcome.
+    fn baseline_for(
+        &self,
+        root: &SplitMix64,
+        baseline_sys: &SystemConfig,
+        app: &AppPoint,
+        app_key: &[u64],
+        cache: &Mutex<BTreeMap<Vec<u64>, BaselineEntry>>,
+    ) -> Result<IorReport, AcicError> {
+        if let Some(b) = cache.lock().get(app_key) {
+            return b.result.clone();
+        }
+        let sys = baseline_sys.to_io_system(app.nprocs);
+        let cost_of = cost_fn(&sys);
+        // The baseline seed must be a function of the app key, not of the
+        // point index: two points sharing an app half can race to fill the
+        // cache, and an index-derived seed would make the cached report
+        // depend on which thread won.
+        let chain = {
+            let mut r = root.derive(u64::MAX);
+            for &w in app_key {
+                r = r.derive(w);
+            }
+            r
+        };
+        let seed_of = |attempt: u32| {
+            if attempt == 0 {
+                chain.clone().next_u64()
+            } else {
+                chain.derive(u64::from(attempt)).next_u64()
+            }
+        };
+        let run = retry_run(&sys, &app.to_ior(), seed_of, self.faults, &self.retry, &cost_of);
+        let entry = BaselineEntry {
+            faults: run.result.as_ref().map(|r| r.outcome.faults).unwrap_or(0),
+            result: run.result,
+            retries: run.retries,
+            aborts: run.aborts,
+            backoff_secs: run.backoff_secs,
+            wasted_secs: run.wasted_secs,
+            wasted_cost: run.wasted_cost,
+        };
+        let result = entry.result.clone();
+        cache.lock().insert(app_key.to_vec(), entry);
+        result
+    }
+}
+
+/// Session accounting for one cached baseline.
+#[derive(Debug, Clone)]
+struct BaselineEntry {
+    result: Result<IorReport, AcicError>,
+    retries: u32,
+    aborts: u32,
+    backoff_secs: f64,
+    wasted_secs: f64,
+    wasted_cost: f64,
+    faults: usize,
+}
+
+/// Everything one campaign point contributed.
+#[derive(Debug, Clone)]
+struct PointRun {
+    index: usize,
+    tp: Option<TrainingPoint>,
+    /// Simulated seconds charged to the database for this point.
+    secs: f64,
+    /// Simulated USD charged to the database for this point.
+    cost: f64,
+    /// Successful-run share of `secs` (excludes waste and backoff).
+    sim_secs: f64,
+    attempts: u32,
+    retries: u32,
+    aborts: u32,
+    faults: usize,
+    backoff_secs: f64,
+    wasted_secs: f64,
+    wasted_cost: f64,
+    error: Option<AcicError>,
+    resumed: bool,
+}
+
+impl PointRun {
+    fn empty(index: usize) -> Self {
+        Self {
+            index,
+            tp: None,
+            secs: 0.0,
+            cost: 0.0,
+            sim_secs: 0.0,
+            attempts: 0,
+            retries: 0,
+            aborts: 0,
+            faults: 0,
+            backoff_secs: 0.0,
+            wasted_secs: 0.0,
+            wasted_cost: 0.0,
+            error: None,
+            resumed: false,
+        }
+    }
+
+    fn from_journal(entry: JournalEntry) -> Self {
+        match entry {
+            JournalEntry::Ok { index, secs, cost, point } => Self {
+                tp: Some(point),
+                secs,
+                cost,
+                resumed: true,
+                ..Self::empty(index)
+            },
+            JournalEntry::Skip { index, attempts, secs, cost, reason } => Self {
+                secs,
+                cost,
+                attempts,
+                error: Some(AcicError::Invalid(reason)),
+                resumed: true,
+                ..Self::empty(index)
+            },
+        }
+    }
+
+    fn to_journal_entry(&self) -> JournalEntry {
+        match &self.tp {
+            Some(point) => JournalEntry::Ok {
+                index: self.index,
+                secs: self.secs,
+                cost: self.cost,
+                point: *point,
+            },
+            None => JournalEntry::Skip {
+                index: self.index,
+                attempts: self.attempts,
+                secs: self.secs,
+                cost: self.cost,
+                reason: self
+                    .error
+                    .as_ref()
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "unrecorded failure".into()),
+            },
+        }
+    }
+}
+
+/// Outcome of a bounded-retry run sequence.
+struct RetriedRun {
+    result: Result<IorReport, AcicError>,
+    retries: u32,
+    aborts: u32,
+    backoff_secs: f64,
+    wasted_secs: f64,
+    wasted_cost: f64,
+}
+
+/// Run `cfg` on `sys`, retrying transient (injected-fault) errors on
+/// deterministic per-attempt seeds with exponential-backoff accounting.
+/// Permanent errors never retry; exceeding the retry count or the
+/// per-point budget gives up with the terminal error.
+fn retry_run(
+    sys: &IoSystem,
+    cfg: &IorConfig,
+    seed_of: impl Fn(u32) -> u64,
+    faults: FaultPlan,
+    retry: &RetryPolicy,
+    cost_of: &impl Fn(f64) -> f64,
+) -> RetriedRun {
+    let mut retries = 0u32;
+    let mut aborts = 0u32;
+    let mut backoff_secs = 0.0f64;
+    let mut wasted_secs = 0.0f64;
+    let mut wasted_cost = 0.0f64;
+    let mut attempt = 0u32;
+    let result = loop {
+        match run_ior_faulted(sys, cfg, seed_of(attempt), faults) {
+            Ok(r) => break Ok(r),
+            Err(e) => {
+                let e = AcicError::from(e);
+                if let AcicError::Sim(CloudSimError::InjectedFault { time, .. }) = &e {
+                    aborts += 1;
+                    wasted_secs += *time;
+                    wasted_cost += cost_of(*time);
+                }
+                if !e.is_transient() || attempt >= retry.max_retries {
+                    break Err(e);
+                }
+                attempt += 1;
+                retries += 1;
+                backoff_secs += retry.backoff_before(attempt);
+                if wasted_secs + backoff_secs > retry.point_budget_secs {
+                    break Err(AcicError::Invalid(format!(
+                        "per-point budget of {:.0}s exhausted after {} attempt(s)",
+                        retry.point_budget_secs, attempt
+                    )));
+                }
+            }
+        }
+    };
+    RetriedRun { result, retries, aborts, backoff_secs, wasted_secs, wasted_cost }
+}
+
+/// Cost of `secs` of simulated time on `sys`'s cluster (used to bill the
+/// wasted time of aborted attempts, like the authors paid for theirs).
+fn cost_fn(sys: &IoSystem) -> impl Fn(f64) -> f64 {
+    let instances = sys.cluster.total_instances();
+    let instance_type = sys.cluster.instance_type;
+    move |secs: f64| CostModel::default().linear_cost(secs, instances, instance_type)
+}
+
+/// FNV-1a over a word stream (campaign fingerprinting).
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Encode one observation as the 17 tab-separated fields shared by the
+/// database text format and the checkpoint journal.
+pub(crate) fn point_to_line(p: &TrainingPoint) -> String {
+    let sys = &p.system;
+    let app = &p.app;
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        crate::features::device_code(sys.device) as u8,
+        matches!(sys.fs, acic_fsim::FsType::Pvfs2) as u8,
+        matches!(sys.instance_type, acic_cloudsim::instance::InstanceType::Cc2_8xlarge) as u8,
+        sys.io_servers,
+        matches!(sys.placement, acic_cloudsim::cluster::Placement::Dedicated) as u8,
+        sys.stripe_size,
+        app.nprocs,
+        app.io_procs,
+        crate::features::api_code(app.api) as u8,
+        app.iterations,
+        app.data_size,
+        app.request_size,
+        matches!(app.op, acic_fsim::IoOp::Write) as u8,
+        app.collective as u8,
+        app.shared_file as u8,
+        p.perf_improvement,
+        p.cost_improvement,
+    )
+}
+
+/// Parse the 17 fields written by [`point_to_line`].
+pub(crate) fn point_from_fields(f: &[&str], lineno: usize) -> Result<TrainingPoint, AcicError> {
+    use acic_cloudsim::cluster::Placement;
+    use acic_cloudsim::device::DeviceKind;
+    use acic_cloudsim::instance::InstanceType;
+    use acic_fsim::{FsType, IoApi, IoOp};
+
+    let bad = |reason: &str| AcicError::Codec { line: lineno, reason: reason.into() };
+    if f.len() != 17 {
+        return Err(bad("expected 17 tab-separated fields"));
+    }
+    let num = |i: usize| -> Result<f64, AcicError> { f[i].parse().map_err(|_| bad("bad number")) };
+    let flag = |i: usize| -> Result<bool, AcicError> { Ok(num(i)? != 0.0) };
+    Ok(TrainingPoint {
+        system: SystemConfig {
+            device: match num(0)? as u8 {
+                0 => DeviceKind::Ebs,
+                1 => DeviceKind::Ephemeral,
+                2 => DeviceKind::Ssd,
+                _ => return Err(bad("bad device code")),
+            },
+            fs: if flag(1)? { FsType::Pvfs2 } else { FsType::Nfs },
+            instance_type: if flag(2)? {
+                InstanceType::Cc2_8xlarge
+            } else {
+                InstanceType::Cc1_4xlarge
+            },
+            io_servers: num(3)? as usize,
+            placement: if flag(4)? { Placement::Dedicated } else { Placement::PartTime },
+            stripe_size: num(5)?,
+        },
+        app: AppPoint {
+            nprocs: num(6)? as usize,
+            io_procs: num(7)? as usize,
+            api: match num(8)? as u8 {
+                0 => IoApi::Posix,
+                1 => IoApi::MpiIo,
+                2 => IoApi::Hdf5,
+                3 => IoApi::NetCdf,
+                _ => return Err(bad("bad api code")),
+            },
+            iterations: num(9)? as usize,
+            data_size: num(10)?,
+            request_size: num(11)?,
+            op: if flag(12)? { IoOp::Write } else { IoOp::Read },
+            collective: flag(13)?,
+            shared_file: flag(14)?,
+        },
+        perf_improvement: num(15)?,
+        cost_improvement: num(16)?,
+    })
 }
 
 impl TrainingDb {
@@ -219,42 +745,13 @@ impl TrainingDb {
         writeln!(s, "collect_secs={} collect_cost_usd={}", self.collect_secs, self.collect_cost_usd)
             .unwrap();
         for p in &self.points {
-            let sys = &p.system;
-            let app = &p.app;
-            writeln!(
-                s,
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-                crate::features::device_code(sys.device) as u8,
-                matches!(sys.fs, acic_fsim::FsType::Pvfs2) as u8,
-                matches!(sys.instance_type, acic_cloudsim::instance::InstanceType::Cc2_8xlarge)
-                    as u8,
-                sys.io_servers,
-                matches!(sys.placement, acic_cloudsim::cluster::Placement::Dedicated) as u8,
-                sys.stripe_size,
-                app.nprocs,
-                app.io_procs,
-                crate::features::api_code(app.api) as u8,
-                app.iterations,
-                app.data_size,
-                app.request_size,
-                matches!(app.op, acic_fsim::IoOp::Write) as u8,
-                app.collective as u8,
-                app.shared_file as u8,
-                p.perf_improvement,
-                p.cost_improvement,
-            )
-            .unwrap();
+            writeln!(s, "{}", point_to_line(p)).unwrap();
         }
         s
     }
 
     /// Parse the [`Self::to_text`] format.
     pub fn from_text(text: &str) -> Result<TrainingDb, AcicError> {
-        use acic_cloudsim::cluster::Placement;
-        use acic_cloudsim::device::DeviceKind;
-        use acic_cloudsim::instance::InstanceType;
-        use acic_fsim::{FsType, IoApi, IoOp};
-
         let bad = |line: usize, reason: &str| AcicError::Codec { line, reason: reason.into() };
         let mut lines = text.lines().enumerate();
         let (_, header) = lines.next().ok_or_else(|| bad(1, "empty input"))?;
@@ -278,53 +775,7 @@ impl TrainingDb {
                 continue;
             }
             let f: Vec<&str> = line.split('\t').collect();
-            if f.len() != 17 {
-                return Err(bad(lineno + 1, "expected 17 tab-separated fields"));
-            }
-            let num =
-                |i: usize| -> Result<f64, AcicError> {
-                    f[i].parse().map_err(|_| bad(lineno + 1, "bad number"))
-                };
-            let flag = |i: usize| -> Result<bool, AcicError> { Ok(num(i)? != 0.0) };
-            let point = TrainingPoint {
-                system: SystemConfig {
-                    device: match num(0)? as u8 {
-                        0 => DeviceKind::Ebs,
-                        1 => DeviceKind::Ephemeral,
-                        2 => DeviceKind::Ssd,
-                        _ => return Err(bad(lineno + 1, "bad device code")),
-                    },
-                    fs: if flag(1)? { FsType::Pvfs2 } else { FsType::Nfs },
-                    instance_type: if flag(2)? {
-                        InstanceType::Cc2_8xlarge
-                    } else {
-                        InstanceType::Cc1_4xlarge
-                    },
-                    io_servers: num(3)? as usize,
-                    placement: if flag(4)? { Placement::Dedicated } else { Placement::PartTime },
-                    stripe_size: num(5)?,
-                },
-                app: AppPoint {
-                    nprocs: num(6)? as usize,
-                    io_procs: num(7)? as usize,
-                    api: match num(8)? as u8 {
-                        0 => IoApi::Posix,
-                        1 => IoApi::MpiIo,
-                        2 => IoApi::Hdf5,
-                        3 => IoApi::NetCdf,
-                        _ => return Err(bad(lineno + 1, "bad api code")),
-                    },
-                    iterations: num(9)? as usize,
-                    data_size: num(10)?,
-                    request_size: num(11)?,
-                    op: if flag(12)? { IoOp::Write } else { IoOp::Read },
-                    collective: flag(13)?,
-                    shared_file: flag(14)?,
-                },
-                perf_improvement: num(15)?,
-                cost_improvement: num(16)?,
-            };
-            db.points.push(point);
+            db.points.push(point_from_fields(&f, lineno + 1)?);
         }
         Ok(db)
     }
@@ -472,5 +923,98 @@ mod tests {
         let a = t.collect(2).unwrap();
         let b = t.collect(2).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulted_collection_retries_and_still_completes() {
+        // The paper's observed rate, cranked up so aborts are certain to
+        // appear in a small campaign.
+        let plan = FaultPlan { phase_fail_prob: 0.05, retry_penalty_secs: 35.0, abort_prob: 0.5 };
+        let t = Trainer::with_paper_ranking(13).with_faults(plan);
+        let points = t.sample_points(2);
+        let c = t.collect_with(&points, &CollectOptions::default()).unwrap();
+        assert_eq!(c.db.len(), points.len(), "retries must save every point");
+        assert!(c.report.is_complete());
+        assert!(c.report.aborts > 0, "this plan must produce aborts");
+        assert_eq!(c.report.retries, c.report.aborts, "every abort retried");
+        assert!(c.report.backoff_secs > 0.0);
+        // Fault overhead is charged to the campaign clock.
+        let clean = Trainer::with_paper_ranking(13).collect(2).unwrap();
+        assert!(c.db.collect_secs > clean.collect_secs);
+    }
+
+    #[test]
+    fn hopeless_faults_skip_and_record_instead_of_failing() {
+        let plan = FaultPlan { phase_fail_prob: 1.0, retry_penalty_secs: 35.0, abort_prob: 1.0 };
+        let t = Trainer::with_paper_ranking(5)
+            .with_faults(plan)
+            .with_retry(RetryPolicy { max_retries: 2, ..RetryPolicy::DEFAULT });
+        let points = t.sample_points(1);
+        let c = t.collect_with(&points, &CollectOptions::default()).unwrap();
+        assert!(c.db.is_empty(), "every run aborts, nothing collectable");
+        assert_eq!(c.report.skipped.len(), points.len());
+        assert!(!c.report.is_complete());
+        for sk in &c.report.skipped {
+            assert!(sk.error.is_transient(), "terminal error is the injected fault");
+        }
+        // The baseline runs' wasted attempts are still accounted.
+        assert!(c.report.wasted_secs > 0.0);
+        assert!(c.report.aborts > 0);
+
+        // Strict mode (the legacy `collect_points` path) surfaces the error.
+        let err = t.collect_points(&points).unwrap_err();
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let plan = FaultPlan { phase_fail_prob: 1.0, retry_penalty_secs: 35.0, abort_prob: 1.0 };
+        let t = Trainer::with_paper_ranking(5).with_faults(plan).with_retry(RetryPolicy {
+            max_retries: 50,
+            point_budget_secs: 10.0,
+            ..RetryPolicy::DEFAULT
+        });
+        let points = t.sample_points(1);
+        let c = t.collect_with(&points, &CollectOptions::default()).unwrap();
+        assert_eq!(c.report.skipped.len(), points.len());
+        for sk in &c.report.skipped {
+            assert!(sk.error.to_string().contains("budget"), "{}", sk.error);
+            assert!(sk.attempts < 51, "budget must stop retries early");
+        }
+    }
+
+    #[test]
+    fn faulted_collection_is_deterministic_per_seed() {
+        let t = Trainer::with_paper_ranking(11).with_faults(FaultPlan::papers_observed_rate());
+        let points = t.sample_points(2);
+        let a = t.collect_with(&points, &CollectOptions::default()).unwrap();
+        let b = t.collect_with(&points, &CollectOptions::default()).unwrap();
+        assert_eq!(a.db, b.db);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn metrics_observe_the_campaign() {
+        let m = Metrics::new();
+        let t = Trainer::with_paper_ranking(3);
+        let points = t.sample_points(1);
+        let opts = CollectOptions { metrics: Some(&m), ..Default::default() };
+        let c = t.collect_with(&points, &opts).unwrap();
+        assert_eq!(m.counter("train.points.attempted"), points.len() as u64);
+        assert_eq!(m.counter("train.points.completed"), c.db.len() as u64);
+        assert_eq!(m.counter("train.db.points"), c.db.len() as u64);
+        assert!(m.total_secs("train.sim_secs") > 0.0);
+    }
+
+    #[test]
+    fn campaign_id_changes_with_plan_and_points() {
+        let t = Trainer::with_paper_ranking(1);
+        let p1 = t.sample_points(1);
+        let p2 = t.sample_points(2);
+        let a = t.campaign_id(&p1);
+        assert_eq!(a, t.campaign_id(&p1), "fingerprint is stable");
+        assert_ne!(a.fingerprint, t.campaign_id(&p2).fingerprint);
+        let faulted = Trainer::with_paper_ranking(1).with_faults(FaultPlan::papers_observed_rate());
+        assert_ne!(a.fingerprint, faulted.campaign_id(&p1).fingerprint);
     }
 }

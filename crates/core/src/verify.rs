@@ -47,8 +47,17 @@ pub struct Verification {
 
 impl Verification {
     /// The measured winner.
+    ///
+    /// # Panics
+    /// Panics when the verification probed no candidates (`top_k = 0` or an
+    /// empty recommendation list); use [`Self::try_best`] in that case.
     pub fn best(&self) -> &VerifiedCandidate {
-        &self.ranked[0]
+        self.try_best().expect("best() on an empty verification")
+    }
+
+    /// The measured winner, or `None` when nothing was probed.
+    pub fn try_best(&self) -> Option<&VerifiedCandidate> {
+        self.ranked.first()
     }
 
     /// Fraction of the probing that was free (rode residual hours).
@@ -164,6 +173,14 @@ mod tests {
         let v = verify_top_k(&recs, &app, Objective::Cost, 0, 0.0, 1).unwrap();
         assert_eq!(v.ranked.len(), 1, "k=0 clamps to 1");
         assert!(verify_top_k(&[], &app, Objective::Cost, 3, 0.0, 1).is_err());
+        assert_eq!(v.try_best(), v.ranked.first());
+        let empty = Verification {
+            ranked: Vec::new(),
+            total_probe_secs: 0.0,
+            standalone_cost: 0.0,
+            piggybacked_secs: 0.0,
+        };
+        assert!(empty.try_best().is_none(), "empty verification is not a panic");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::collective::plan_collective;
 use crate::config::{FsType, IoSystem};
-use crate::fault::FaultPlan;
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::nfs::{plan_nfs_phase, NfsState};
 use crate::outcome::RunOutcome;
 use crate::params::FsParams;
@@ -88,6 +88,7 @@ impl Executor {
         let mut total = 0.0f64;
         let mut io_secs = 0.0f64;
         let mut compute_secs = 0.0f64;
+        let mut fault_secs = 0.0f64;
         let mut phase_secs = Vec::with_capacity(workload.phases.len());
         let mut faults = 0usize;
         let mut fault_rng = root_rng.derive(u64::MAX);
@@ -154,10 +155,26 @@ impl Executor {
                     first_open = false;
 
                     let makespan = sim.run()?.makespan();
-                    let fault_penalty = self.faults.sample(&mut fault_rng);
-                    if fault_penalty > 0.0 {
-                        faults += 1;
-                    }
+                    let fault_penalty = match self.faults.sample_event(&mut fault_rng) {
+                        FaultEvent::None => 0.0,
+                        FaultEvent::Degraded { penalty_secs } => {
+                            faults += 1;
+                            penalty_secs
+                        }
+                        FaultEvent::Abort => {
+                            // The lost connection corrupted in-flight data
+                            // (paper §5.6 obs 5); the run is unsalvageable.
+                            // Report how far it got so retry accounting can
+                            // bill the wasted simulated time.
+                            return Err(CloudSimError::InjectedFault {
+                                time: total + makespan + serial + sync,
+                                what: format!(
+                                    "lost I/O server connection in phase {idx} corrupted data"
+                                ),
+                            });
+                        }
+                    };
+                    fault_secs += fault_penalty;
                     let dt = makespan + serial + sync + fault_penalty;
                     io_secs += dt;
                     dt
@@ -167,7 +184,7 @@ impl Executor {
             phase_secs.push(dt);
         }
 
-        Ok(RunOutcome { total_secs: total, io_secs, compute_secs, phase_secs, faults })
+        Ok(RunOutcome { total_secs: total, io_secs, compute_secs, phase_secs, faults, fault_secs })
     }
 }
 
@@ -278,11 +295,30 @@ mod tests {
         let w = write_workload(16.0, 5, 0.1);
         let clean = Executor::new(sys).run(&w, 3).unwrap();
         let faulty = Executor::new(sys)
-            .with_faults(FaultPlan { phase_fail_prob: 1.0, retry_penalty_secs: 30.0 })
+            .with_faults(FaultPlan { phase_fail_prob: 1.0, retry_penalty_secs: 30.0, abort_prob: 0.0 })
             .run(&w, 3)
             .unwrap();
         assert_eq!(faulty.faults, 5);
+        assert_eq!(faulty.fault_secs, 150.0);
         assert!((faulty.total_secs - clean.total_secs - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aborting_fault_kills_the_run_with_partial_time() {
+        let sys = system(FsConfig::pvfs2(mib(4.0)), 2, Placement::Dedicated);
+        let w = write_workload(16.0, 5, 0.1);
+        let clean = Executor::new(sys).run(&w, 3).unwrap();
+        let err = Executor::new(sys)
+            .with_faults(FaultPlan { phase_fail_prob: 1.0, retry_penalty_secs: 30.0, abort_prob: 1.0 })
+            .run(&w, 3)
+            .unwrap_err();
+        match err {
+            CloudSimError::InjectedFault { time, what } => {
+                assert!(time > 0.0 && time < clean.total_secs, "died mid-run at {time}s");
+                assert!(what.contains("lost I/O server connection"), "{what}");
+            }
+            other => panic!("expected InjectedFault, got {other:?}"),
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod pvfs;
 pub use api::IoApi;
 pub use config::{FsConfig, FsType, IoSystem};
 pub use exec::Executor;
+pub use fault::{FaultEvent, FaultPlan};
 pub use outcome::RunOutcome;
 pub use params::FsParams;
 pub use phase::{Access, IoOp, IoPhase, Phase, Workload};

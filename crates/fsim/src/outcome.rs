@@ -11,8 +11,11 @@ pub struct RunOutcome {
     pub compute_secs: f64,
     /// Duration of every phase, in workload order.
     pub phase_secs: Vec<f64>,
-    /// Injected server-connection failures encountered.
+    /// Injected server-connection failures encountered (and tolerated).
     pub faults: usize,
+    /// Wall-clock absorbed by tolerated fault retries, seconds (part of
+    /// `io_secs`).
+    pub fault_secs: f64,
 }
 
 impl RunOutcome {
@@ -38,9 +41,17 @@ mod tests {
             compute_secs: 75.0,
             phase_secs: vec![],
             faults: 0,
+            fault_secs: 0.0,
         };
         assert_eq!(o.io_fraction(), 0.25);
-        let zero = RunOutcome { total_secs: 0.0, io_secs: 0.0, compute_secs: 0.0, phase_secs: vec![], faults: 0 };
+        let zero = RunOutcome {
+            total_secs: 0.0,
+            io_secs: 0.0,
+            compute_secs: 0.0,
+            phase_secs: vec![],
+            faults: 0,
+            fault_secs: 0.0,
+        };
         assert_eq!(zero.io_fraction(), 0.0);
     }
 }

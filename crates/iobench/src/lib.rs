@@ -16,4 +16,4 @@ pub mod runner;
 pub use cli_compat::{parse_ior_args, parse_size};
 pub use config::IorConfig;
 pub use report::IorReport;
-pub use runner::run_ior;
+pub use runner::{run_ior, run_ior_faulted};

@@ -35,6 +35,7 @@ mod tests {
                 compute_secs: 0.0,
                 phase_secs: vec![12.5],
                 faults: 0,
+                fault_secs: 0.0,
             },
             bandwidth_bps: 1e9,
             cost: 0.1,

@@ -4,16 +4,29 @@ use crate::config::IorConfig;
 use crate::report::IorReport;
 use acic_cloudsim::error::CloudSimError;
 use acic_cloudsim::pricing::CostModel;
-use acic_fsim::{Executor, IoSystem};
+use acic_fsim::{Executor, FaultPlan, IoSystem};
 
-/// Run `cfg` on `system` with the given seed.
+/// Run `cfg` on `system` with the given seed and no fault injection.
 ///
 /// Returns [`CloudSimError::InvalidCluster`] for invalid benchmark
 /// configurations so callers can treat configuration and cluster errors
 /// uniformly when sweeping large spaces.
 pub fn run_ior(system: &IoSystem, cfg: &IorConfig, seed: u64) -> Result<IorReport, CloudSimError> {
+    run_ior_faulted(system, cfg, seed, FaultPlan::NONE)
+}
+
+/// Run `cfg` on `system` under a failure-injection plan (paper §5.6
+/// observation 5).  Tolerated connection losses show up as extra time in
+/// the report; corrupting losses surface as
+/// [`CloudSimError::InjectedFault`] and must be retried by the caller.
+pub fn run_ior_faulted(
+    system: &IoSystem,
+    cfg: &IorConfig,
+    seed: u64,
+    faults: FaultPlan,
+) -> Result<IorReport, CloudSimError> {
     cfg.validate().map_err(CloudSimError::InvalidCluster)?;
-    let outcome = Executor::new(*system).run(&cfg.workload(), seed)?;
+    let outcome = Executor::new(*system).with_faults(faults).run(&cfg.workload(), seed)?;
     let instances = system.cluster.total_instances();
     let cost = CostModel::default().linear_cost(
         outcome.total_secs,

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, full test suite, bench compile check, and the CART
-# engine benchmark artifact (BENCH_cart.json at the repo root).
+# Tier-1 gate: build, full test suite, bench compile check, the CART engine
+# benchmark artifact (BENCH_cart.json at the repo root), and a fault-injection
+# training sweep that must complete with zero skipped points.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,3 +9,12 @@ cargo build --release --offline
 cargo test -q --offline --workspace
 cargo bench --no-run --offline --workspace
 cargo run --release --offline -p acic-bench --bin bench_cart
+
+# Resilience gate: a training campaign under the paper's observed fault rate
+# (§5.6 observation 5) must retry every abort away.  `train` exits non-zero
+# if any point was skipped (no --allow-skips given), so the gate is the exit
+# code.  The acceptance tests for kill/resume bit-identity run above as part
+# of the workspace suite (tests/resilience.rs, tests/properties.rs).
+cargo run --release --offline -p acic-cli --bin acic -- \
+  train --dims 4 --faults paper-rate --report --out target/tier1-train-db.txt
+rm -f target/tier1-train-db.txt

@@ -103,16 +103,34 @@ fn obs5_connection_failures_happen_and_cost_time() {
     let faulty = Executor::new(sys).with_faults(FaultPlan::papers_observed_rate());
     let clean = Executor::new(sys);
     let mut faults = 0usize;
+    let mut aborts = 0usize;
     let mut extra = 0.0;
     for seed in 0..300u64 {
         let w = app.to_ior().workload();
-        let f = faulty.run(&w, seed).unwrap();
-        let c = clean.run(&w, seed).unwrap();
+        // A quarter of connection losses corrupt data and kill the run;
+        // retry on a derived seed like the trainer does.
+        let mut retried = false;
+        let f = (0..)
+            .find_map(|attempt: u64| match faulty.run(&w, seed ^ (attempt << 32)) {
+                Ok(r) => Some(r),
+                Err(_) => {
+                    aborts += 1;
+                    retried = true;
+                    None
+                }
+            })
+            .unwrap();
         faults += f.faults;
-        extra += f.total_secs - c.total_secs;
-        assert!(f.total_secs >= c.total_secs);
+        if !retried {
+            // Same seed as the clean run, so tolerated faults can only
+            // add time; a retried run jitters differently and is not
+            // directly comparable.
+            let c = clean.run(&w, seed).unwrap();
+            extra += f.total_secs - c.total_secs;
+            assert!(f.total_secs >= c.total_secs);
+        }
     }
     // ~0.4% per phase over 300 runs × 10 phases ≈ a dozen failures.
-    assert!(faults > 0, "the observed failure rate must manifest");
+    assert!(faults + aborts > 0, "the observed failure rate must manifest");
     assert!(extra > 0.0);
 }

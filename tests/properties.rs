@@ -3,9 +3,11 @@
 //! configuration, with sane, finite outputs.
 
 use acic_repro::acic::space::{AppPoint, SpacePoint, SystemConfig};
+use acic_repro::acic::training::CollectOptions;
+use acic_repro::acic::{Trainer, TrainingDb, TrainingPoint};
 use acic_repro::cloudsim::instance::InstanceType;
 use acic_repro::cloudsim::units::{kib, mib};
-use acic_repro::fsim::{IoApi, IoOp};
+use acic_repro::fsim::{FaultPlan, IoApi, IoOp};
 use acic_repro::iobench::run_ior;
 use proptest::prelude::*;
 
@@ -94,5 +96,81 @@ proptest! {
         let hourly = sys.cluster.instance_type.hourly_price();
         let expected = report.secs() / 3600.0 * report.instances as f64 * hourly;
         prop_assert!((report.cost - expected).abs() < 1e-9 * expected.max(1.0));
+    }
+
+    /// `to_text`/`from_text` is an identity on arbitrary databases — down
+    /// to the last bit of every f64 (Rust's `{}` float formatting is
+    /// shortest-round-trip), which is what the checkpoint journal relies on.
+    #[test]
+    fn db_text_codec_round_trips_exactly(
+        rows in prop::collection::vec(
+            (app_strategy(), config_strategy(), 1u64..u64::MAX, 1u64..u64::MAX),
+            0..20,
+        ),
+        secs_bits in 1u64..1u64 << 62,
+        cost_bits in 1u64..1u64 << 62,
+    ) {
+        // Map raw u64 bit patterns onto awkward finite positive floats so
+        // the codec sees values with long decimal expansions.
+        let awkward = |bits: u64| (bits as f64) / 1.9e17 + 1e-12;
+        let db = TrainingDb {
+            points: rows
+                .into_iter()
+                .map(|(app, system, p, c)| TrainingPoint {
+                    system,
+                    app,
+                    perf_improvement: awkward(p),
+                    cost_improvement: awkward(c),
+                })
+                .collect(),
+            collect_secs: awkward(secs_bits),
+            collect_cost_usd: awkward(cost_bits),
+        };
+        let back = TrainingDb::from_text(&db.to_text()).unwrap();
+        prop_assert_eq!(back, db);
+    }
+}
+
+proptest! {
+    // Each case runs a faulted campaign three times; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Killing a journaled campaign at *any* byte offset past the header
+    /// and resuming reproduces the uninterrupted database bit-for-bit.
+    #[test]
+    fn journal_replay_after_any_kill_point_is_bit_identical(
+        seed in 1u64..1000,
+        kill_fraction in 1u64..100,
+    ) {
+        let trainer = Trainer::with_paper_ranking(seed)
+            .with_faults(FaultPlan::papers_observed_rate());
+        let points = trainer.sample_points(1);
+
+        let truth = trainer.collect_with(&points, &CollectOptions::default()).unwrap();
+
+        let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let full_path = dir.join(format!("prop-journal-{seed}-full.journal"));
+        let _ = std::fs::remove_file(&full_path);
+        let opts = CollectOptions { journal: Some(&full_path), ..Default::default() };
+        trainer.collect_with(&points, &opts).unwrap();
+        let full = std::fs::read_to_string(&full_path).unwrap();
+        let _ = std::fs::remove_file(&full_path);
+
+        // Kill anywhere strictly inside the entry region: the header must
+        // survive (a journal that lost its header is a fresh campaign).
+        let header_len = full.lines().take(2).map(|l| l.len() + 1).sum::<usize>();
+        let cut = header_len
+            + ((full.len() - header_len) as u64 * kill_fraction / 100) as usize;
+        let killed_path = dir.join(format!("prop-journal-{seed}-{kill_fraction}.journal"));
+        std::fs::write(&killed_path, &full[..cut]).unwrap();
+
+        let opts = CollectOptions { journal: Some(&killed_path), ..Default::default() };
+        let resumed = trainer.collect_with(&points, &opts).unwrap();
+        let _ = std::fs::remove_file(&killed_path);
+
+        prop_assert!(resumed.report.is_complete());
+        prop_assert_eq!(&resumed.db, &truth.db);
+        prop_assert_eq!(resumed.db.to_text(), truth.db.to_text());
     }
 }
