@@ -48,6 +48,21 @@ impl Summary {
     }
 }
 
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample as the ⌈q·n⌉-th smallest
+/// observation — the same nearest-rank convention as the latency
+/// histograms in `acic::Metrics`, so client-side and server-side
+/// percentiles in the serve benchmark are comparable.  `None` for an
+/// empty sample.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +77,16 @@ mod tests {
         assert_eq!(s.max, 9.0);
         assert_eq!(s.median, 5.0);
         assert!((s.cov() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_uses_nearest_rank() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 0.5), Some(3.0));
+        assert_eq!(quantile(&xs, 0.95), Some(5.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+        assert_eq!(quantile(&[], 0.5), None);
     }
 
     #[test]

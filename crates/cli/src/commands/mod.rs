@@ -4,12 +4,13 @@ pub mod ior;
 pub mod profile;
 pub mod recommend;
 pub mod screen;
+pub mod serve;
 pub mod sweep;
 pub mod train;
 pub mod walk;
 
 use crate::args::Args;
-use acic::Objective;
+use acic::{Acic, Metrics, Objective, TrainingDb};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -47,6 +48,15 @@ USAGE:
   acic sweep      --app NAME --procs N [--goal perf|cost] [--seed N] [--report]
         Exhaustively measure every candidate configuration (ground truth).
 
+  acic serve      [--db FILE | --dims N] [--seed N] [--workers N] [--queue N]
+                  [--batch N] [--cache N] [--replay FILE] [--swap-at N] [--report]
+        Run the concurrent recommendation service over a replay file (or
+        stdin) of `<app> <procs> <goal> <k>` request lines.  Requests are
+        pipelined through a sharded worker pool with result caching and
+        admission control; answers print in request order, bit-identical
+        at any --workers count.  --swap-at N hot-swaps a freshly retrained
+        model snapshot after N submissions, while requests are in flight.
+
   acic ior        --args \"-a MPIIO -b 16m -t 4m -i 10 -w -c -N 64\"
                   [--config NOTATION] [--seed N]
         Run one IOR-style benchmark line on a configuration (notation like
@@ -55,11 +65,38 @@ USAGE:
 Applications: btio, flashio, mpiblast, madbench2 (paper configurations).
 ";
 
-/// Parse `--goal perf|cost` (default perf).
-pub fn goal(args: &Args) -> Result<Objective, String> {
-    match args.get_or("goal", "perf") {
+/// Parse one goal word (`perf`/`cost` and their aliases).
+pub fn parse_goal(word: &str) -> Result<Objective, String> {
+    match word {
         "perf" | "performance" | "time" => Ok(Objective::Performance),
         "cost" | "money" => Ok(Objective::Cost),
-        other => Err(format!("invalid --goal {other:?} (expected perf or cost)")),
+        other => Err(format!("invalid goal {other:?} (expected perf or cost)")),
     }
+}
+
+/// Parse `--goal perf|cost` (default perf).
+pub fn goal(args: &Args) -> Result<Objective, String> {
+    parse_goal(args.get_or("goal", "perf"))
+        .map_err(|e| e.replacen("invalid goal", "invalid --goal", 1))
+}
+
+/// Bootstrap an [`Acic`] instance the way `recommend` and `serve` share:
+/// from a `--db` file when given, else by training in-process over the top
+/// `--dims` paper-ranked dimensions.
+pub fn acic_from_args(args: &Args, seed: u64, metrics: &Metrics) -> Result<Acic, String> {
+    let _span = metrics.span("phase.train");
+    let acic = match args.get("db") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let db = TrainingDb::from_text(&text).map_err(|e| e.to_string())?;
+            eprintln!("loaded {} training points from {path}", db.len());
+            Acic::from_db(db, seed).map_err(|e| e.to_string())?
+        }
+        None => {
+            let dims: usize = args.parse_or("dims", 10)?;
+            eprintln!("no --db given; training in-process over the top {dims} dimensions...");
+            Acic::with_paper_ranking(dims, seed).map_err(|e| e.to_string())?
+        }
+    };
+    Ok(acic)
 }

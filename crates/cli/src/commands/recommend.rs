@@ -1,9 +1,16 @@
 //! `acic recommend` — profile an application and rank candidates.
+//!
+//! The ranking itself runs through the `acic-serve` query path (a
+//! single-shot, one-worker service), so this command and the long-lived
+//! `acic serve` service answer through exactly the same code and can
+//! never diverge.
 
 use crate::args::Args;
-use crate::commands::goal;
+use crate::commands::{acic_from_args, goal};
 use crate::registry::app_by_name;
-use acic::{Acic, Metrics, TrainingDb};
+use acic::profile::app_point_from;
+use acic::{Metrics, Recommendation};
+use acic_serve::Request;
 
 pub fn run(args: &Args) -> Result<(), String> {
     args.reject_unknown(&[
@@ -34,34 +41,30 @@ pub fn run(args: &Args) -> Result<(), String> {
         other => return Err(format!("invalid --model {other:?} (cart, forest, or knn)")),
     };
 
-    let mut acic = {
-        let _span = metrics.span("phase.train");
-        let acic = match args.get("db") {
-            Some(path) => {
-                let text =
-                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-                let db = TrainingDb::from_text(&text).map_err(|e| e.to_string())?;
-                eprintln!("loaded {} training points from {path}", db.len());
-                Acic::from_db(db, seed).map_err(|e| e.to_string())?
-            }
-            None => {
-                let dims: usize = args.parse_or("dims", 10)?;
-                eprintln!("no --db given; training in-process over the top {dims} dimensions...");
-                Acic::with_paper_ranking(dims, seed).map_err(|e| e.to_string())?
-            }
-        };
-        metrics.incr("recommend.db.points", acic.db.len() as u64);
-        acic
-    };
+    let mut acic = acic_from_args(args, seed, &metrics)?;
+    metrics.incr("recommend.db.points", acic.db.len() as u64);
 
     if model_kind != acic_cart::ModelKind::Cart {
         let _span = metrics.span("phase.retrain");
         acic.retrain_with(model_kind).map_err(|e| e.to_string())?;
     }
 
-    let recs = {
+    let point = {
+        let _span = metrics.span("phase.profile");
+        let chars = acic_apps::profile(&model.trace())
+            .ok_or_else(|| format!("{} performs no I/O", model.name()))?;
+        app_point_from(&chars)
+    };
+    let recs: Vec<Recommendation> = {
         let _span = metrics.span("phase.rank");
-        acic.recommend_for(model.as_ref(), objective, top).map_err(|e| e.to_string())?
+        let request = Request { app: point, objective, k: top };
+        let response = acic_serve::answer_single_shot(&acic.predictor, acic.db.len(), request, &metrics)
+            .map_err(|e| e.to_string())?;
+        response
+            .top
+            .iter()
+            .map(|&(config, predicted_improvement)| Recommendation { config, predicted_improvement })
+            .collect()
     };
     metrics.incr("recommend.candidates.returned", recs.len() as u64);
     println!(

@@ -1,0 +1,124 @@
+//! `acic serve` — drive the concurrent recommendation service from a
+//! replay file (or stdin).
+//!
+//! Each request line is `<app> <procs> <goal> <k>` (`#` starts a comment).
+//! Requests are profiled into query points, submitted to the sharded
+//! worker pool in file order without waiting for earlier answers
+//! (pipelined), and the answers are printed strictly in request order —
+//! so stdout is bit-identical at any `--workers` count and across a
+//! `--swap-at` hot-swap to an identically retrained snapshot, which is
+//! exactly what the tier-1 gate diffs.
+
+use crate::args::Args;
+use crate::commands::{acic_from_args, parse_goal};
+use crate::registry::app_by_name;
+use acic::profile::app_point_from;
+use acic::{Metrics, Predictor};
+use acic_serve::{Pending, Request, ServeConfig, Server};
+use std::io::Read;
+
+/// Parse one replay line into a display label and a request.
+fn parse_request_line(line: &str) -> Result<(String, Request), String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let [app_name, procs, goal_word, k] = tokens.as_slice() else {
+        return Err(format!("want `<app> <procs> <goal> <k>`, got {line:?}"));
+    };
+    let procs: usize = procs.parse().map_err(|_| format!("bad procs {procs:?}"))?;
+    let objective = parse_goal(goal_word)?;
+    let k: usize = k.parse().map_err(|_| format!("bad k {k:?}"))?;
+    let model = app_by_name(app_name, procs)?;
+    let chars = acic_apps::profile(&model.trace())
+        .ok_or_else(|| format!("{} performs no I/O", model.name()))?;
+    let label = format!("{}-{procs} {goal_word} top{k}", model.name());
+    Ok((label, Request { app: app_point_from(&chars), objective, k }))
+}
+
+pub fn run(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "db", "dims", "seed", "workers", "queue", "batch", "cache", "replay", "swap-at", "report",
+    ])?;
+    let metrics = Metrics::new();
+    let seed: u64 = args.parse_or("seed", 20131117)?;
+    let workers: usize = args.parse_or("workers", 2)?;
+    let swap_at: usize = args.parse_or("swap-at", usize::MAX)?;
+
+    let acic = acic_from_args(args, seed, &metrics)?;
+
+    let text = match args.get("replay") {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+        }
+        None => {
+            eprintln!("reading requests from stdin (one `<app> <procs> <goal> <k>` per line)...");
+            let mut s = String::new();
+            std::io::stdin().read_to_string(&mut s).map_err(|e| e.to_string())?;
+            s
+        }
+    };
+    let requests: Vec<(String, Request)> = {
+        let _span = metrics.span("phase.parse");
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .enumerate()
+            .map(|(i, l)| parse_request_line(l).map_err(|e| format!("request {}: {e}", i + 1)))
+            .collect::<Result<_, _>>()?
+    };
+
+    let cfg = ServeConfig {
+        workers,
+        queue_depth: args.parse_or("queue", 128)?,
+        batch: args.parse_or("batch", 8)?,
+        cache_capacity: args.parse_or("cache", 4096)?,
+        ..Default::default()
+    };
+    let server = Server::from_acic(&acic, cfg, metrics.clone());
+    let handle = server.handle();
+    eprintln!(
+        "serving with {workers} worker(s), queue depth {}, batch {} (snapshot v{}, {} points)",
+        server.config().queue_depth,
+        server.config().batch,
+        server.version(),
+        acic.db.len(),
+    );
+
+    // Pipelined submission; `--swap-at N` republishes an identically
+    // retrained snapshot mid-replay while earlier requests are in flight.
+    let pending: Vec<Pending> = {
+        let _span = metrics.span("phase.replay");
+        let mut out = Vec::with_capacity(requests.len());
+        for (i, (_, req)) in requests.iter().enumerate() {
+            if i == swap_at {
+                let _swap = metrics.span("phase.swap");
+                let retrained =
+                    Predictor::train(&acic.db, seed).map_err(|e| e.to_string())?;
+                let v = server.publish(retrained, acic.db.len());
+                eprintln!("hot-swapped to snapshot v{v} after {i} submissions");
+            }
+            out.push(handle.submit_blocking(*req).map_err(|e| e.to_string())?);
+        }
+        out
+    };
+
+    // Answers print strictly in request order regardless of which worker
+    // (or snapshot) served them.
+    for (i, ((label, _), pend)) in requests.iter().zip(pending).enumerate() {
+        let resp = pend.wait().map_err(|e| e.to_string())?;
+        let ranked: Vec<String> =
+            resp.top.iter().map(|(c, imp)| format!("{}={imp:.6}", c.notation())).collect();
+        println!("{}. {label}: {}", i + 1, ranked.join(" "));
+    }
+    println!("# served {} requests, shed {}", requests.len(), server.shed_count());
+
+    let (hits, misses, rate) = server.cache_stats();
+    eprintln!(
+        "cache: {hits} hits / {misses} misses ({:.0}% hit rate), final snapshot v{}",
+        rate * 100.0,
+        server.version()
+    );
+    if args.flag("report") {
+        eprint!("{}", metrics.render());
+    }
+    server.shutdown();
+    Ok(())
+}

@@ -11,6 +11,7 @@
 //! acic profile    --app NAME --procs N [--trace file] [--emit-trace file]
 //! acic walk       --app NAME --procs N [--goal ..] [--random] [--seed N]
 //! acic sweep      --app NAME --procs N [--goal ..]
+//! acic serve      [--db db.txt|--dims N] [--workers N] [--replay file] [--swap-at N]
 //! ```
 
 mod args;
@@ -36,6 +37,7 @@ fn main() {
         Some("ior") => commands::ior::run(&parsed),
         Some("walk") => commands::walk::run(&parsed),
         Some("sweep") => commands::sweep::run(&parsed),
+        Some("serve") => commands::serve::run(&parsed),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

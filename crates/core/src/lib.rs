@@ -58,6 +58,6 @@ pub use objective::Objective;
 pub use obs::Metrics;
 pub use predictor::Predictor;
 pub use resilience::{Collection, CollectionReport, RetryPolicy, SkippedPoint};
-pub use space::{AppPoint, ParamId, SystemConfig};
+pub use space::{AppPoint, CacheKey, ParamId, SystemConfig};
 pub use training::{CollectOptions, Trainer, TrainingDb, TrainingPoint};
 pub use verify::{verify_top_k, Verification, VerifiedCandidate};

@@ -14,9 +14,72 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Number of fixed latency buckets: bucket `i` covers `[2^i, 2^(i+1))`
+/// microseconds (bucket 0 also absorbs sub-microsecond observations), and
+/// the last bucket absorbs everything ≥ 2^27 µs (≈ 134 s).
+pub const LATENCY_BUCKETS: usize = 28;
+
+/// A fixed-bucket (log2-spaced, microsecond-based) latency histogram.
+/// Fixed buckets keep recording allocation-free after the first
+/// observation and make quantiles mergeable and deterministic: a quantile
+/// is always reported as the upper bound of the bucket it lands in.
+#[derive(Debug, Clone)]
+struct Hist {
+    counts: [u64; LATENCY_BUCKETS],
+    n: u64,
+    sum_secs: f64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self { counts: [0; LATENCY_BUCKETS], n: 0, sum_secs: 0.0 }
+    }
+}
+
+impl Hist {
+    fn bucket_for(secs: f64) -> usize {
+        let us = (secs * 1e6).max(0.0);
+        let mut b = 0;
+        while b + 1 < LATENCY_BUCKETS && us >= (1u64 << (b + 1)) as f64 {
+            b += 1;
+        }
+        b
+    }
+
+    /// Upper bound of bucket `b`, in seconds.
+    fn upper_secs(b: usize) -> f64 {
+        (1u64 << (b + 1)) as f64 / 1e6
+    }
+
+    fn record(&mut self, secs: f64) {
+        self.counts[Self::bucket_for(secs)] += 1;
+        self.n += 1;
+        self.sum_secs += secs.max(0.0);
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket
+    /// holding the ⌈q·n⌉-th smallest observation.
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::upper_secs(b));
+            }
+        }
+        Some(Self::upper_secs(LATENCY_BUCKETS - 1))
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<String, u64>,
+    /// name → fixed-bucket latency histogram.
+    latencies: BTreeMap<String, Hist>,
     /// name → (observation count, accumulated seconds).
     timers: BTreeMap<String, (u64, f64)>,
 }
@@ -50,6 +113,34 @@ impl Metrics {
         e.1 += secs;
     }
 
+    /// Record one latency observation into a named fixed-bucket histogram
+    /// (see [`LATENCY_BUCKETS`]) — per-request stage timings such as queue
+    /// wait or predict time, where quantiles matter and per-observation
+    /// storage must stay constant.
+    pub fn observe_latency(&self, name: &str, secs: f64) {
+        self.inner.lock().latencies.entry(name.to_string()).or_default().record(secs);
+    }
+
+    /// The `q`-quantile of a latency histogram (upper bucket bound), or
+    /// `None` when nothing was recorded under `name`.
+    pub fn latency_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.inner.lock().latencies.get(name).and_then(|h| h.quantile(q))
+    }
+
+    /// Observation count of a latency histogram (0 when never touched).
+    pub fn latency_count(&self, name: &str) -> u64 {
+        self.inner.lock().latencies.get(name).map(|h| h.n).unwrap_or(0)
+    }
+
+    /// Mean of a latency histogram in seconds (0 when never touched).
+    pub fn latency_mean_secs(&self, name: &str) -> f64 {
+        let inner = self.inner.lock();
+        match inner.latencies.get(name) {
+            Some(h) if h.n > 0 => h.sum_secs / h.n as f64,
+            _ => 0.0,
+        }
+    }
+
     /// Start a wall-clock span; the elapsed time is recorded when the
     /// returned guard drops.
     pub fn span(&self, name: &str) -> Span {
@@ -69,10 +160,12 @@ impl Metrics {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         let inner = self.inner.lock();
-        inner.counters.is_empty() && inner.timers.is_empty()
+        inner.counters.is_empty() && inner.timers.is_empty() && inner.latencies.is_empty()
     }
 
-    /// Render everything recorded as a sorted, aligned text block.
+    /// Render everything recorded as a sorted, aligned text block.  Every
+    /// section iterates a `BTreeMap`, so the output is deterministic
+    /// (sorted keys) and `--report` text is diffable in tests and CI.
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let inner = self.inner.lock();
@@ -83,6 +176,20 @@ impl Metrics {
                 writeln!(s, "  {name:<36} {v}").unwrap();
             }
         }
+        if !inner.latencies.is_empty() {
+            writeln!(s, "latencies:").unwrap();
+            for (name, h) in &inner.latencies {
+                writeln!(
+                    s,
+                    "  {name:<36} n={:<8} p50={:<9} p95={:<9} p99={}",
+                    h.n,
+                    fmt_latency(h.quantile(0.50).unwrap_or(0.0)),
+                    fmt_latency(h.quantile(0.95).unwrap_or(0.0)),
+                    fmt_latency(h.quantile(0.99).unwrap_or(0.0)),
+                )
+                .unwrap();
+            }
+        }
         if !inner.timers.is_empty() {
             writeln!(s, "timings:").unwrap();
             for (name, (n, secs)) in &inner.timers {
@@ -90,6 +197,19 @@ impl Metrics {
             }
         }
         s
+    }
+}
+
+/// Render a latency in the most readable unit (µs below 1 ms, ms below
+/// 1 s, else seconds); purely a function of the value, so reports stay
+/// deterministic.
+fn fmt_latency(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.0}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.1}ms", secs * 1e3)
+    } else {
+        format!("{secs:.2}s")
     }
 }
 
@@ -159,5 +279,61 @@ mod tests {
         m.observe_secs("train.sim_secs", 2.5);
         assert_eq!(m.total_secs("train.sim_secs"), 4.0);
         assert!(m.render().contains("2 observation(s)"));
+    }
+
+    #[test]
+    fn latency_buckets_cover_the_range() {
+        assert_eq!(Hist::bucket_for(0.0), 0);
+        assert_eq!(Hist::bucket_for(0.5e-6), 0, "sub-µs lands in bucket 0");
+        assert_eq!(Hist::bucket_for(1.5e-6), 0, "[1µs, 2µs)");
+        assert_eq!(Hist::bucket_for(2.0e-6), 1);
+        assert_eq!(Hist::bucket_for(1.1e-3), Hist::bucket_for(1.9e-3), "same [1024µs, 2048µs) band");
+        assert_eq!(Hist::bucket_for(1e9), LATENCY_BUCKETS - 1, "overflow clamps");
+    }
+
+    #[test]
+    fn latency_quantiles_walk_the_buckets() {
+        let m = Metrics::new();
+        assert_eq!(m.latency_quantile("serve.predict", 0.5), None);
+        // 90 fast observations (~2-4µs band) and 10 slow ones (~2-4ms band).
+        for _ in 0..90 {
+            m.observe_latency("serve.predict", 3e-6);
+        }
+        for _ in 0..10 {
+            m.observe_latency("serve.predict", 3e-3);
+        }
+        assert_eq!(m.latency_count("serve.predict"), 100);
+        let p50 = m.latency_quantile("serve.predict", 0.50).unwrap();
+        let p99 = m.latency_quantile("serve.predict", 0.99).unwrap();
+        assert!(p50 <= 8e-6, "p50 {p50} should sit in the fast band");
+        assert!(p99 >= 2e-3, "p99 {p99} should sit in the slow band");
+        assert!((m.latency_mean_secs("serve.predict") - (90.0 * 3e-6 + 10.0 * 3e-3) / 100.0).abs() < 1e-12);
+        let r = m.render();
+        assert!(r.contains("latencies:"), "{r}");
+        assert!(r.contains("serve.predict"), "{r}");
+        assert!(r.contains("p99="), "{r}");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_sorted_regardless_of_insertion_order() {
+        let fill = |names: &[&str]| {
+            let m = Metrics::new();
+            for n in names {
+                m.incr(n, 2);
+                m.observe_secs(n, 1.0);
+                m.observe_latency(n, 5e-6);
+            }
+            m.render()
+        };
+        let a = fill(&["b.two", "a.one", "c.three"]);
+        let b = fill(&["c.three", "a.one", "b.two"]);
+        assert_eq!(a, b, "insertion order must not leak into the report");
+        let idx = |r: &str, name: &str| r.find(name).unwrap();
+        let counters = a.split("latencies:").next().unwrap().to_string();
+        assert!(idx(&counters, "a.one") < idx(&counters, "b.two"));
+        assert!(idx(&counters, "b.two") < idx(&counters, "c.three"));
+        // Section order is fixed: counters, latencies, timings.
+        assert!(idx(&a, "counters:") < idx(&a, "latencies:"));
+        assert!(idx(&a, "latencies:") < idx(&a, "timings:"));
     }
 }

@@ -3,6 +3,7 @@
 //! I/O characteristics, their sampled value sets, validity rules, and the
 //! candidate-configuration enumeration.
 
+use crate::objective::Objective;
 use acic_cloudsim::cluster::{ClusterSpec, Placement};
 use acic_cloudsim::device::DeviceKind;
 use acic_cloudsim::instance::InstanceType;
@@ -459,6 +460,26 @@ impl AppPoint {
         self
     }
 
+    /// The canonical bit pattern of this point: the [`Self::normalized`]
+    /// form with `-0.0` sizes folded into `0.0`.  Two points that compare
+    /// equal after normalization produce identical words, which is what
+    /// [`CacheKey`] hashing and sharding are built on.  NaN sizes are not
+    /// part of the space and are unsupported as cache keys.
+    fn canonical_words(&self) -> [u64; 9] {
+        let a = self.normalized();
+        [
+            a.nprocs as u64,
+            a.io_procs as u64,
+            a.api as u64,
+            a.iterations as u64,
+            canon_f64_bits(a.data_size),
+            canon_f64_bits(a.request_size),
+            a.op as u64,
+            a.collective as u64,
+            a.shared_file as u64,
+        ]
+    }
+
     /// As an IOR benchmark configuration.
     pub fn to_ior(&self) -> IorConfig {
         let a = self.normalized();
@@ -476,6 +497,101 @@ impl AppPoint {
             // (§3.2); random access is the iobench extension.
             access: acic_fsim::Access::Sequential,
         }
+    }
+}
+
+/// `AppPoint` equality is plain field equality (`f64` `==` on the two size
+/// fields); NaN sizes never occur in the space, so the reflexivity `Eq`
+/// demands holds for every constructible point.
+impl Eq for AppPoint {}
+
+/// Hashing goes through [`AppPoint::canonical_words`], so `-0.0`/`0.0`
+/// sizes hash alike and the contract with the derived `PartialEq` holds.
+/// Note the hash is *coarser* than `==`: it is computed on the normalized
+/// point, which is exactly what result caching wants (see [`CacheKey`]).
+impl std::hash::Hash for AppPoint {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.canonical_words().hash(state);
+    }
+}
+
+/// Fold `-0.0` into `+0.0` so bit-level hashing agrees with `f64` `==`.
+fn canon_f64_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0
+    } else {
+        x.to_bits()
+    }
+}
+
+/// The canonical identity of one recommendation query: the *normalized*
+/// application point joined with the objective, the candidate instance
+/// type, and the (clamped) result length `k`.  Two queries that can only
+/// ever produce the same top-k list map to the same key — the correctness
+/// foundation of the serve-layer result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    app: AppPoint,
+    objective: Objective,
+    instance_type: InstanceType,
+    k: usize,
+}
+
+impl CacheKey {
+    /// Canonicalize a query into its cache identity.  The app point is
+    /// [`AppPoint::normalized`] and `k` is clamped to ≥ 1, mirroring what
+    /// [`crate::Predictor::top_k`] does before answering.
+    pub fn new(app: &AppPoint, objective: Objective, instance_type: InstanceType, k: usize) -> Self {
+        Self { app: app.normalized(), objective, instance_type, k: k.max(1) }
+    }
+
+    /// The normalized application point the key was built from.
+    pub fn app(&self) -> &AppPoint {
+        &self.app
+    }
+
+    /// The optimization goal of the query.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The candidate instance type of the query.
+    pub fn instance_type(&self) -> InstanceType {
+        self.instance_type
+    }
+
+    /// The clamped result length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// A process- and run-stable 64-bit hash (FNV-1a over the canonical
+    /// words), used to pick queue and cache shards deterministically —
+    /// unlike `std` `RandomState`, replaying the same request file shards
+    /// identically on every run.
+    pub fn stable_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |w: u64| {
+            for byte in w.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for w in self.app.canonical_words() {
+            eat(w);
+        }
+        eat(self.objective as u64);
+        eat(self.instance_type as u64);
+        eat(self.k as u64);
+        h
+    }
+
+    /// Deterministic shard index in `0..shards`.
+    pub fn shard(&self, shards: usize) -> usize {
+        debug_assert!(shards > 0);
+        (self.stable_hash() % shards.max(1) as u64) as usize
     }
 }
 
@@ -676,6 +792,96 @@ mod tests {
         assert_eq!(sys.cluster.compute_instances, 16);
         assert_eq!(sys.cluster.total_instances(), 17, "plus one dedicated server");
         assert!(sys.validate().is_ok());
+    }
+
+    #[test]
+    fn cache_key_collides_for_differently_constructed_equal_points() {
+        // Point A carries out-of-range raw fields that normalization clamps;
+        // point B is constructed already-canonical.  Same query identity.
+        let mut a = SpacePoint::default_point().app;
+        a.nprocs = 64;
+        a.io_procs = 256; // clamps to 64
+        a.api = IoApi::Posix;
+        a.collective = true; // POSIX cannot do collective: drops to false
+        a.data_size = mib(4.0);
+        a.request_size = mib(16.0); // clamps to data size
+        let mut b = SpacePoint::default_point().app;
+        b.nprocs = 64;
+        b.io_procs = 64;
+        b.api = IoApi::Posix;
+        b.collective = false;
+        b.data_size = mib(4.0);
+        b.request_size = mib(4.0);
+        let goal = Objective::Performance;
+        let it = InstanceType::Cc2_8xlarge;
+        let ka = CacheKey::new(&a, goal, it, 3);
+        let kb = CacheKey::new(&b, goal, it, 3);
+        assert_eq!(ka, kb);
+        assert_eq!(ka.stable_hash(), kb.stable_hash());
+        assert_eq!(ka.shard(8), kb.shard(8));
+        // k is clamped like Predictor::top_k clamps it.
+        assert_eq!(CacheKey::new(&a, goal, it, 0), CacheKey::new(&b, goal, it, 1));
+        // A std HashMap agrees (Hash/Eq contract).
+        let mut m = std::collections::HashMap::new();
+        m.insert(ka, 1);
+        assert_eq!(m.get(&kb), Some(&1));
+    }
+
+    #[test]
+    fn cache_key_separates_perturbed_queries() {
+        let app = SpacePoint::default_point().app;
+        let goal = Objective::Performance;
+        let it = InstanceType::Cc2_8xlarge;
+        let base = CacheKey::new(&app, goal, it, 3);
+        let mut bumped = app;
+        bumped.data_size += 1.0; // one byte of data size apart
+        for other in [
+            CacheKey::new(&bumped, goal, it, 3),
+            CacheKey::new(&app, Objective::Cost, it, 3),
+            CacheKey::new(&app, goal, InstanceType::Cc1_4xlarge, 3),
+            CacheKey::new(&app, goal, it, 4),
+        ] {
+            assert_ne!(base, other);
+            assert_ne!(base.stable_hash(), other.stable_hash());
+        }
+    }
+
+    #[test]
+    fn app_point_hash_is_consistent_with_equality() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash_of = |p: &AppPoint| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        let a = SpacePoint::default_point().app;
+        let b = a;
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        // -0.0 == 0.0 must hash alike (canonical bits fold the sign).
+        let mut z1 = a;
+        z1.data_size = 0.0;
+        let mut z2 = a;
+        z2.data_size = -0.0;
+        assert_eq!(z1, z2);
+        assert_eq!(hash_of(&z1), hash_of(&z2));
+    }
+
+    #[test]
+    fn stable_hash_spreads_profiled_apps_across_shards() {
+        // The four evaluation apps at two scales should not all collapse
+        // into one shard of a small pool.
+        let mut shards = std::collections::BTreeSet::new();
+        for &(nprocs, k) in &[(32usize, 1usize), (64, 3), (128, 5), (256, 8)] {
+            let mut app = SpacePoint::default_point().app;
+            app.nprocs = nprocs;
+            app.io_procs = nprocs;
+            for goal in Objective::ALL {
+                shards.insert(CacheKey::new(&app, goal, InstanceType::Cc2_8xlarge, k).shard(8));
+            }
+        }
+        assert!(shards.len() >= 2, "degenerate sharding: {shards:?}");
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! The canonicalized, versioned result cache.
+//!
+//! Keys are [`CacheKey`]s — already-normalized queries — paired with the
+//! snapshot version that computed the result, so a hot-swap invalidates
+//! every cached answer *logically* (new version, new key space) without a
+//! stop-the-world flush; stale generations simply age out of the LRU.
+//! The map is sharded by the key's run-stable hash so concurrent workers
+//! rarely contend on the same lock, and each shard runs its own LRU
+//! bounded at `capacity / shards` entries.
+
+use acic::{CacheKey, SystemConfig};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, immutable top-k answer: `(configuration, predicted
+/// improvement)` pairs, best first.  `Arc`d so a cache hit is a refcount
+/// bump, not a copy of the candidate list.
+pub type CachedTopK = Arc<Vec<(SystemConfig, f64)>>;
+
+#[derive(Debug)]
+struct Entry {
+    last_used: u64,
+    value: CachedTopK,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<(CacheKey, u64), Entry>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &(CacheKey, u64)) -> Option<CachedTopK> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.value.clone()
+        })
+    }
+
+    fn insert(&mut self, key: (CacheKey, u64), value: CachedTopK, capacity: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        if self.map.len() >= capacity && !self.map.contains_key(&key) {
+            // Evict the least-recently-used entry.  Ticks are unique per
+            // shard, so the victim is unambiguous.
+            if let Some(victim) = self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k)
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key, Entry { last_used: tick, value });
+    }
+}
+
+/// Sharded LRU cache of top-k answers, namespaced by snapshot version.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding up to ~`capacity` results across `shards` shards.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[key.shard(self.shards.len())]
+    }
+
+    /// Look up a result computed under snapshot `version`.
+    pub fn get(&self, key: &CacheKey, version: u64) -> Option<CachedTopK> {
+        let found = self.shard(key).lock().touch(&(*key, version));
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store a result computed under snapshot `version`.
+    pub fn insert(&self, key: CacheKey, version: u64, value: CachedTopK) {
+        self.shard(&key).lock().insert((key, version), value, self.per_shard_capacity);
+    }
+
+    /// Entries currently cached (all shards, all versions).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups answered from the cache (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic::space::SpacePoint;
+    use acic::{Objective, SystemConfig};
+    use acic_cloudsim::instance::InstanceType;
+    use std::sync::Arc;
+
+    fn key(nprocs: usize, k: usize) -> CacheKey {
+        let mut app = SpacePoint::default_point().app;
+        app.nprocs = nprocs;
+        app.io_procs = nprocs;
+        CacheKey::new(&app, Objective::Performance, InstanceType::Cc2_8xlarge, k)
+    }
+
+    fn result(tag: f64) -> CachedTopK {
+        Arc::new(vec![(SystemConfig::baseline(), tag)])
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = ResultCache::new(16, 2);
+        let k = key(64, 3);
+        assert!(c.get(&k, 1).is_none());
+        c.insert(k, 1, result(1.5));
+        let got = c.get(&k, 1).expect("cached");
+        assert_eq!(got[0].1, 1.5);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_version_logically_invalidates() {
+        let c = ResultCache::new(16, 2);
+        let k = key(64, 3);
+        c.insert(k, 1, result(1.0));
+        assert!(c.get(&k, 2).is_none(), "v2 must never see v1's answer");
+        c.insert(k, 2, result(2.0));
+        assert_eq!(c.get(&k, 1).unwrap()[0].1, 1.0, "v1 entry still intact until evicted");
+        assert_eq!(c.get(&k, 2).unwrap()[0].1, 2.0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_per_shard() {
+        // Single shard, capacity 2: touch the first entry, insert a third,
+        // and the untouched second entry is the victim.
+        let c = ResultCache::new(2, 1);
+        let (k1, k2, k3) = (key(32, 1), key(64, 2), key(128, 3));
+        c.insert(k1, 1, result(1.0));
+        c.insert(k2, 1, result(2.0));
+        assert!(c.get(&k1, 1).is_some());
+        c.insert(k3, 1, result(3.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&k1, 1).is_some(), "recently-used survives");
+        assert!(c.get(&k2, 1).is_none(), "coldest entry evicted");
+        assert!(c.get(&k3, 1).is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let c = ResultCache::new(2, 1);
+        let (k1, k2) = (key(32, 1), key(64, 2));
+        c.insert(k1, 1, result(1.0));
+        c.insert(k2, 1, result(2.0));
+        c.insert(k1, 1, result(1.5));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&k1, 1).unwrap()[0].1, 1.5);
+        assert!(c.get(&k2, 1).is_some());
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_capacity_splits() {
+        let c = ResultCache::new(8, 4);
+        assert_eq!(c.per_shard_capacity, 2);
+        let k = key(64, 3);
+        // Same key always lands in the same shard: inserting twice via
+        // different call sites still yields exactly one entry.
+        c.insert(k, 1, result(1.0));
+        c.insert(k, 1, result(1.0));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! # acic-serve — the concurrent recommendation-serving subsystem
+//!
+//! The paper's end product is a query: *(application I/O characteristics,
+//! optimization goal) → top-k cloud I/O configurations* (§4.2).  This
+//! crate turns that one-shot query into a long-lived, multi-threaded
+//! service — the scaffolding the ROADMAP's "heavy traffic" north star
+//! builds on:
+//!
+//! * [`snapshot`] — versioned, immutable model snapshots with atomic
+//!   hot-swap: a retrain publishes a new generation while requests keep
+//!   flowing, and in-flight requests finish on the generation they loaded.
+//! * [`queue`] — bounded MPMC shard queues: the admission-control
+//!   mechanism (typed [`ServeError::Overloaded`] rejection + shed
+//!   counters) that keeps an overloaded server's memory flat.
+//! * [`cache`] — a sharded LRU of top-k answers keyed by the canonical
+//!   [`acic::CacheKey`] *and* the snapshot version, so hot-swaps
+//!   invalidate logically without a stop-the-world flush.
+//! * [`server`] — the worker pool tying it together: requests are routed
+//!   to shards by stable key hash, drained in batches that each pin one
+//!   snapshot, and accounted per stage (queue wait / cache hit / predict)
+//!   in [`acic::Metrics`] latency histograms.
+//!
+//! Responses are deterministic: the payload is a pure function of
+//! (snapshot version, canonical key); concurrency only changes timing.
+//! `acic serve` drives this from a replay file; `bench_serve` is the
+//! closed-loop load generator.
+
+pub mod cache;
+pub mod queue;
+pub mod server;
+pub mod snapshot;
+
+pub use cache::{CachedTopK, ResultCache};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{Pending, Request, Response, ServeConfig, ServeError, ServeHandle, Server};
+pub use snapshot::{ModelSnapshot, SnapshotStore};
+
+use acic::{Metrics, Predictor};
+
+/// Answer one query through the full serving path on a throwaway
+/// single-worker service — the CLI `recommend` path, so the CLI and the
+/// long-lived service can never diverge.
+pub fn answer_single_shot(
+    predictor: &Predictor,
+    db_points: usize,
+    request: Request,
+    metrics: &Metrics,
+) -> Result<Response, ServeError> {
+    let server = Server::start(predictor.clone(), db_points, ServeConfig::single_shot(), metrics.clone());
+    let response = server.handle().query(request);
+    server.shutdown();
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic::space::SpacePoint;
+    use acic::{Objective, Trainer};
+    use acic_cloudsim::instance::InstanceType;
+
+    #[test]
+    fn single_shot_equals_direct_topk() {
+        let db = Trainer::with_paper_ranking(5).collect(3).unwrap();
+        let p = Predictor::train(&db, 5).unwrap();
+        let app = SpacePoint::default_point().app;
+        let req = Request { app, objective: Objective::Cost, k: 4 };
+        let resp =
+            answer_single_shot(&p, db.len(), req, &Metrics::new()).expect("single shot answers");
+        assert_eq!(*resp.top, p.top_k(&app, Objective::Cost, InstanceType::Cc2_8xlarge, 4));
+        assert_eq!(resp.snapshot_version, 1);
+        assert!(!resp.cache_hit);
+    }
+}

@@ -1,0 +1,205 @@
+//! A bounded MPMC queue with admission control.
+//!
+//! Every worker shard owns one of these.  The bound is the backpressure
+//! mechanism: when producers outrun the worker, [`BoundedQueue::try_push`]
+//! refuses (and counts the shed) instead of growing without limit, which
+//! is what keeps a overloaded server's memory flat.  Replay-style clients
+//! that must not lose requests use [`BoundedQueue::push_wait`] and block
+//! until a slot frees up.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a `try_push` was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back and the shed
+    /// counter has been incremented.
+    Full(T),
+    /// The queue was closed; no more work is accepted.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    shed: u64,
+}
+
+/// Bounded multi-producer / multi-consumer FIFO.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` (≥ 1) queued items.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false, shed: 0 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Admission-controlled push: enqueue or refuse immediately.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            inner.shed += 1;
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Lossless push: block while the queue is full.  Returns the item
+    /// back only when the queue has been closed.
+    pub fn push_wait(&self, item: T) -> Result<(), T> {
+        let mut inner = self.lock();
+        loop {
+            if inner.closed {
+                return Err(item);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeue up to `max` items in FIFO order, blocking while the queue
+    /// is empty and open.  An empty result means the queue was closed and
+    /// has been fully drained — the consumer should exit.
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let max = max.max(1);
+        let mut inner = self.lock();
+        loop {
+            if !inner.items.is_empty() {
+                let n = inner.items.len().min(max);
+                let batch: Vec<T> = inner.items.drain(..n).collect();
+                drop(inner);
+                // Batch draining may have freed several slots.
+                self.not_full.notify_all();
+                return batch;
+            }
+            if inner.closed {
+                return Vec::new();
+            }
+            inner = self.not_empty.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Close the queue: producers are refused from now on, consumers drain
+    /// the remainder and then see the closed state.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of `try_push` attempts refused for capacity since creation.
+    pub fn shed_count(&self) -> u64 {
+        self.lock().shed
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_batch_drain() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop_batch(3), vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(10), vec![3, 4]);
+    }
+
+    #[test]
+    fn full_queue_sheds_and_counts() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.try_push(4), Err(PushError::Full(4)));
+        assert_eq!(q.shed_count(), 2);
+        assert_eq!(q.len(), 2, "shed items never entered the queue");
+    }
+
+    #[test]
+    fn closed_queue_refuses_producers_and_drains_consumers() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed(8)));
+        assert_eq!(q.push_wait(9), Err(9));
+        assert_eq!(q.pop_batch(4), vec![7], "remainder drains after close");
+        assert!(q.pop_batch(4).is_empty(), "then consumers see the closed state");
+        assert_eq!(q.shed_count(), 0, "closed refusals are not sheds");
+    }
+
+    #[test]
+    fn push_wait_blocks_until_a_slot_frees() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0u64).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_wait(1).is_ok())
+        };
+        // The producer is blocked on a full queue; draining unblocks it.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(q.pop_batch(1), vec![0]);
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop_batch(1), vec![1]);
+    }
+
+    #[test]
+    fn pop_batch_blocks_until_work_arrives() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.try_push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), vec![42]);
+    }
+}

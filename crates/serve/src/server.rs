@@ -1,0 +1,574 @@
+//! The sharded worker pool: request admission, batching, caching, and
+//! per-stage latency accounting.
+//!
+//! Requests are canonicalized into a [`CacheKey`] at the door and routed
+//! to a worker shard by the key's run-stable hash, so repeated queries for
+//! the same application always meet their own cache shard and batch
+//! together.  Each worker drains up to `batch` queued jobs per wakeup,
+//! loads **one** snapshot for the whole batch (every answer in a batch is
+//! consistent with exactly that generation), and answers each unique key
+//! once — duplicates within the batch are absorbed by the versioned cache.
+//! Admission control is the bounded shard queue: [`ServeHandle::submit`]
+//! returns a typed [`ServeError::Overloaded`] instead of queueing without
+//! bound.
+//!
+//! Determinism: a response's payload is a pure function of (snapshot
+//! version, canonical key).  Thread scheduling, batching boundaries, and
+//! cache state can change *when* and *how cheaply* an answer is produced,
+//! never *what* it is.
+
+use crate::cache::{CachedTopK, ResultCache};
+use crate::queue::{BoundedQueue, PushError};
+use crate::snapshot::{ModelSnapshot, SnapshotStore};
+use acic::{Acic, AppPoint, CacheKey, Metrics, Objective, Predictor};
+use acic_cloudsim::instance::InstanceType;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (= queue/batching shards).
+    pub workers: usize,
+    /// Bound of each shard's request queue (admission-control limit).
+    pub queue_depth: usize,
+    /// Maximum jobs a worker drains per wakeup.
+    pub batch: usize,
+    /// Total result-cache entries across shards.
+    pub cache_capacity: usize,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+    /// Candidate instance type every query ranks over.
+    pub instance_type: InstanceType,
+    /// Simulated per-request downstream stall (serialization, network,
+    /// follow-up I/O in a real deployment).  Zero in production paths;
+    /// `bench_serve` sets it to measure how the pool overlaps latency.
+    pub service_stall: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            queue_depth: 128,
+            batch: 8,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            instance_type: InstanceType::Cc2_8xlarge,
+            service_stall: Duration::ZERO,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The one-worker, tiny-footprint configuration the CLI `recommend`
+    /// command answers through (single-shot service).
+    pub fn single_shot() -> Self {
+        Self { workers: 1, queue_depth: 1, batch: 1, cache_capacity: 8, cache_shards: 1, ..Self::default() }
+    }
+}
+
+/// One recommendation query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// The application's I/O characteristics (normalized at admission).
+    pub app: AppPoint,
+    /// The optimization goal.
+    pub objective: Objective,
+    /// How many candidates to return (clamped to ≥ 1).
+    pub k: usize,
+}
+
+impl Request {
+    /// The canonical cache identity of this request on `instance_type`.
+    pub fn key(&self, instance_type: InstanceType) -> CacheKey {
+        CacheKey::new(&self.app, self.objective, instance_type, self.k)
+    }
+}
+
+/// One answered query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The top-k candidate list, best first.
+    pub top: CachedTopK,
+    /// The snapshot generation that produced (or cached) the answer.
+    pub snapshot_version: u64,
+    /// Whether the answer came out of the result cache.
+    pub cache_hit: bool,
+}
+
+/// Typed serving failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control refused the request: the target shard queue is at
+    /// capacity.  The request was *not* queued; retry later or shed.
+    Overloaded {
+        /// The shard queue bound that was hit.
+        queue_depth: usize,
+    },
+    /// The server is shutting down (or shut down before answering).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_depth } => {
+                write!(f, "overloaded: shard queue at capacity ({queue_depth})")
+            }
+            ServeError::ShuttingDown => f.write_str("server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A single-use reply slot the submitting thread parks on.
+#[derive(Debug, Default)]
+struct OneShot {
+    slot: Mutex<OneShotState>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+enum OneShotState {
+    #[default]
+    Empty,
+    Ready(Response),
+    Closed,
+}
+
+impl OneShot {
+    fn put(&self, r: Response) {
+        *self.slot.lock().unwrap_or_else(PoisonError::into_inner) = OneShotState::Ready(r);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if matches!(*slot, OneShotState::Empty) {
+            *slot = OneShotState::Closed;
+        }
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> Result<Response, ServeError> {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match std::mem::take(&mut *slot) {
+                OneShotState::Ready(r) => return Ok(r),
+                OneShotState::Closed => return Err(ServeError::ShuttingDown),
+                OneShotState::Empty => {
+                    slot = self.ready.wait(slot).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+}
+
+/// A queued unit of work.  Dropping an unanswered job (e.g. a worker
+/// unwinding mid-shutdown) closes its reply slot so the waiting client
+/// gets [`ServeError::ShuttingDown`] instead of parking forever.
+#[derive(Debug)]
+struct Job {
+    key: CacheKey,
+    enqueued: Instant,
+    reply: Option<Arc<OneShot>>,
+}
+
+impl Job {
+    fn respond(&mut self, r: Response) {
+        if let Some(reply) = self.reply.take() {
+            reply.put(r);
+        }
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        if let Some(reply) = self.reply.take() {
+            reply.close();
+        }
+    }
+}
+
+/// State shared by the server, its workers, and every [`ServeHandle`].
+#[derive(Debug)]
+struct Shared {
+    store: SnapshotStore,
+    queues: Vec<Arc<BoundedQueue<Job>>>,
+    cache: ResultCache,
+    metrics: Metrics,
+    cfg: ServeConfig,
+}
+
+/// The in-process recommendation service: a snapshot store, a sharded
+/// worker pool, and a versioned result cache.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start a server over an already-fitted predictor (snapshot v1) with
+    /// `db_points` recorded for diagnostics.
+    pub fn start(predictor: Predictor, db_points: usize, cfg: ServeConfig, metrics: Metrics) -> Self {
+        let cfg = ServeConfig { workers: cfg.workers.max(1), ..cfg };
+        let shared = Arc::new(Shared {
+            store: SnapshotStore::new(predictor, cfg.instance_type, db_points),
+            queues: (0..cfg.workers).map(|_| Arc::new(BoundedQueue::new(cfg.queue_depth))).collect(),
+            cache: ResultCache::new(cfg.cache_capacity, cfg.cache_shards),
+            metrics,
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("acic-serve-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Start a server from a bootstrapped [`Acic`] instance.
+    pub fn from_acic(acic: &Acic, cfg: ServeConfig, metrics: Metrics) -> Self {
+        Self::start(acic.predictor.clone(), acic.db.len(), cfg, metrics)
+    }
+
+    /// A cloneable client handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Hot-swap: atomically publish a freshly trained predictor as the new
+    /// current snapshot; returns its version.  Requests already in flight
+    /// finish on the generation they loaded; new batches (and the cache
+    /// keys they use) move to the new version immediately.
+    pub fn publish(&self, predictor: Predictor, db_points: usize) -> u64 {
+        let v = self.shared.store.publish(predictor, db_points);
+        self.shared.metrics.incr("serve.snapshots_published", 1);
+        v
+    }
+
+    /// The current snapshot generation.
+    pub fn version(&self) -> u64 {
+        self.shared.store.version()
+    }
+
+    /// The current snapshot (diagnostics; requests load their own).
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        self.shared.store.load()
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Total requests refused by admission control since start.
+    pub fn shed_count(&self) -> u64 {
+        self.shared.queues.iter().map(|q| q.shed_count()).sum()
+    }
+
+    /// Result-cache `(hits, misses, hit_rate)` since start.
+    pub fn cache_stats(&self) -> (u64, u64, f64) {
+        let c = &self.shared.cache;
+        (c.hits(), c.misses(), c.hit_rate())
+    }
+
+    /// The configuration the server runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Stop accepting work, drain queued requests, and join the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for q in &self.shared.queues {
+            q.close();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// A cloneable, thread-safe client of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    fn make_job(&self, req: Request) -> (usize, Job, Arc<OneShot>) {
+        let key = req.key(self.shared.cfg.instance_type);
+        let shard = key.shard(self.shared.queues.len());
+        let reply = Arc::new(OneShot::default());
+        (shard, Job { key, enqueued: Instant::now(), reply: Some(Arc::clone(&reply)) }, reply)
+    }
+
+    /// Admission-controlled submit: enqueue or fail fast with
+    /// [`ServeError::Overloaded`].  On success the returned [`Pending`]
+    /// resolves to the response.
+    pub fn submit(&self, req: Request) -> Result<Pending, ServeError> {
+        let (shard, job, reply) = self.make_job(req);
+        match self.shared.queues[shard].try_push(job) {
+            Ok(()) => Ok(Pending { reply }),
+            Err(PushError::Full(_)) => {
+                self.shared.metrics.incr("serve.requests_shed", 1);
+                Err(ServeError::Overloaded { queue_depth: self.shared.cfg.queue_depth })
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Lossless submit: block while the shard queue is full (replay
+    /// clients and closed-loop load generators that must not shed).
+    pub fn submit_blocking(&self, req: Request) -> Result<Pending, ServeError> {
+        let (shard, job, reply) = self.make_job(req);
+        match self.shared.queues[shard].push_wait(job) {
+            Ok(()) => Ok(Pending { reply }),
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submit (blocking admission) and wait for the answer.
+    pub fn query(&self, req: Request) -> Result<Response, ServeError> {
+        self.submit_blocking(req)?.wait()
+    }
+}
+
+/// An in-flight request; resolves on [`Pending::wait`].
+#[derive(Debug)]
+pub struct Pending {
+    reply: Arc<OneShot>,
+}
+
+impl Pending {
+    /// Park until the worker answers (or the server shuts down first).
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.reply.wait()
+    }
+}
+
+fn worker_loop(shared: &Shared, w: usize) {
+    let queue = &shared.queues[w];
+    let m = &shared.metrics;
+    loop {
+        let batch = queue.pop_batch(shared.cfg.batch);
+        if batch.is_empty() {
+            return; // closed and drained
+        }
+        // One snapshot per batch: every answer below is consistent with
+        // exactly this generation, hot-swaps notwithstanding.
+        let snapshot = shared.store.load();
+        let version = snapshot.version();
+        m.incr("serve.batches", 1);
+        m.incr("serve.requests_served", batch.len() as u64);
+        for mut job in batch {
+            m.observe_latency("serve.queue_wait", job.enqueued.elapsed().as_secs_f64());
+            if !shared.cfg.service_stall.is_zero() {
+                std::thread::sleep(shared.cfg.service_stall);
+            }
+            let t0 = Instant::now();
+            let (top, cache_hit) = match shared.cache.get(&job.key, version) {
+                Some(top) => {
+                    m.observe_latency("serve.cache_hit", t0.elapsed().as_secs_f64());
+                    (top, true)
+                }
+                None => {
+                    let top: CachedTopK = Arc::new(snapshot.answer(&job.key));
+                    shared.cache.insert(job.key, version, Arc::clone(&top));
+                    m.observe_latency("serve.predict", t0.elapsed().as_secs_f64());
+                    m.incr("serve.predictions", 1);
+                    (top, false)
+                }
+            };
+            job.respond(Response { top, snapshot_version: version, cache_hit });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic::space::SpacePoint;
+    use acic::Trainer;
+    use acic_cloudsim::units::mib;
+
+    fn predictor(seed: u64, dims: usize) -> (Predictor, usize) {
+        let db = Trainer::with_paper_ranking(seed).collect(dims).unwrap();
+        let n = db.len();
+        (Predictor::train(&db, seed).unwrap(), n)
+    }
+
+    fn request(k: usize) -> Request {
+        Request { app: SpacePoint::default_point().app, objective: Objective::Performance, k }
+    }
+
+    #[test]
+    fn answers_match_the_direct_predictor_path() {
+        let (p, n) = predictor(3, 4);
+        let server = Server::start(p.clone(), n, ServeConfig::default(), Metrics::new());
+        let h = server.handle();
+        for k in [1, 3, 28] {
+            let resp = h.query(request(k)).unwrap();
+            let direct = p.top_k(
+                &SpacePoint::default_point().app,
+                Objective::Performance,
+                InstanceType::Cc2_8xlarge,
+                k,
+            );
+            assert_eq!(*resp.top, direct, "k={k}");
+            assert_eq!(resp.snapshot_version, 1);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let (p, n) = predictor(3, 3);
+        let server = Server::start(p, n, ServeConfig::default(), Metrics::new());
+        let h = server.handle();
+        let first = h.query(request(3)).unwrap();
+        assert!(!first.cache_hit);
+        let second = h.query(request(3)).unwrap();
+        assert!(second.cache_hit, "identical query must be served from cache");
+        assert_eq!(*first.top, *second.top);
+        // A canonically-equal but differently-constructed query also hits.
+        let mut twisted = request(3);
+        twisted.app.io_procs = twisted.app.nprocs * 4; // clamps back down
+        assert!(h.query(twisted).unwrap().cache_hit);
+        let (hits, _, _) = server.cache_stats();
+        assert_eq!(hits, 2);
+        assert_eq!(server.metrics().counter("serve.predictions"), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn distinct_queries_are_distinct_entries() {
+        let (p, n) = predictor(3, 3);
+        let server = Server::start(p, n, ServeConfig::default(), Metrics::new());
+        let h = server.handle();
+        let a = h.query(request(3)).unwrap();
+        let mut other = request(3);
+        other.app.data_size = mib(512.0);
+        other.app.request_size = mib(4.0);
+        let b = h.query(other).unwrap();
+        assert!(!b.cache_hit);
+        assert_eq!(a.top.len(), b.top.len());
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_submits_preserve_request_identity() {
+        let (p, n) = predictor(4, 3);
+        let server = Server::start(p.clone(), n, ServeConfig { workers: 2, ..Default::default() }, Metrics::new());
+        let h = server.handle();
+        let ks: Vec<usize> = (1..=10).collect();
+        let pending: Vec<Pending> =
+            ks.iter().map(|&k| h.submit_blocking(request(k)).unwrap()).collect();
+        for (k, pend) in ks.iter().zip(pending) {
+            let resp = pend.wait().unwrap();
+            assert_eq!(resp.top.len(), *k.min(&28), "answer belongs to its own request");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_returns_typed_rejection_and_counts_sheds() {
+        let (p, n) = predictor(3, 3);
+        // One slow worker (10ms stall), queue bound 2, batch 1: flooding
+        // faster than it drains must shed with the typed error.
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_depth: 2,
+            batch: 1,
+            service_stall: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let server = Server::start(p, n, cfg, Metrics::new());
+        let h = server.handle();
+        let mut pending = Vec::new();
+        let mut shed = 0;
+        for _ in 0..20 {
+            match h.submit(request(3)) {
+                Ok(p) => pending.push(p),
+                Err(e) => {
+                    assert_eq!(e, ServeError::Overloaded { queue_depth: 2 });
+                    shed += 1;
+                }
+            }
+        }
+        assert!(shed > 0, "flooding a depth-2 queue must shed");
+        assert_eq!(server.shed_count(), shed);
+        assert_eq!(server.metrics().counter("serve.requests_shed"), shed);
+        for p in pending {
+            p.wait().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn publish_swaps_the_serving_model() {
+        let (p1, n1) = predictor(3, 3);
+        let (p2, n2) = predictor(11, 4);
+        let server = Server::start(p1.clone(), n1, ServeConfig::default(), Metrics::new());
+        let h = server.handle();
+        let before = h.query(request(5)).unwrap();
+        assert_eq!(before.snapshot_version, 1);
+        assert_eq!(server.publish(p2.clone(), n2), 2);
+        let after = h.query(request(5)).unwrap();
+        assert_eq!(after.snapshot_version, 2);
+        assert!(!after.cache_hit, "v1's cached answer must not leak into v2");
+        let direct = p2.top_k(
+            &SpacePoint::default_point().app,
+            Objective::Performance,
+            InstanceType::Cc2_8xlarge,
+            5,
+        );
+        assert_eq!(*after.top, direct);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_and_refuses_new() {
+        let (p, n) = predictor(3, 3);
+        let server = Server::start(p, n, ServeConfig::default(), Metrics::new());
+        let h = server.handle();
+        let pend = h.submit_blocking(request(2)).unwrap();
+        server.shutdown();
+        assert!(pend.wait().is_ok(), "queued work drains before workers exit");
+        assert_eq!(h.query(request(2)), Err(ServeError::ShuttingDown));
+        assert!(matches!(h.submit(request(2)), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn metrics_record_per_stage_latencies() {
+        let (p, n) = predictor(3, 3);
+        let m = Metrics::new();
+        let server = Server::start(p, n, ServeConfig::default(), m.clone());
+        let h = server.handle();
+        h.query(request(3)).unwrap();
+        h.query(request(3)).unwrap();
+        server.shutdown();
+        assert_eq!(m.latency_count("serve.queue_wait"), 2);
+        assert_eq!(m.latency_count("serve.predict"), 1);
+        assert_eq!(m.latency_count("serve.cache_hit"), 1);
+        let r = m.render();
+        assert!(r.contains("serve.queue_wait"), "{r}");
+    }
+}

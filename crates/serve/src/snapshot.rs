@@ -1,0 +1,157 @@
+//! Versioned model snapshots with atomic hot-swap.
+//!
+//! A retrain must never stall the query path: the paper's recommender is
+//! incrementally retrained as users contribute training points (§2
+//! "expandability"), and the serving layer keeps answering while that
+//! happens.  The store holds the current [`ModelSnapshot`] behind an
+//! `Arc`; readers clone the `Arc` (a refcount bump under a briefly-held
+//! read lock) and then work entirely lock-free on an immutable snapshot,
+//! while [`SnapshotStore::publish`] swaps the slot atomically.  In-flight
+//! requests finish on the snapshot they loaded; the version id stamped
+//! into every snapshot is what keys the result cache, so a publish
+//! invalidates cached results logically without any stop-the-world flush.
+
+use acic::{Acic, CacheKey, Predictor, SystemConfig};
+use acic_cloudsim::instance::InstanceType;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One immutable, shareable generation of the recommender: the fitted
+/// predictor, the candidate instance type it ranks over, and the version
+/// id that namespaces everything derived from it.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    version: u64,
+    predictor: Predictor,
+    instance_type: InstanceType,
+    db_points: usize,
+}
+
+impl ModelSnapshot {
+    /// The monotonically increasing generation id (first publish is 1).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The fitted predictor backing this generation.
+    pub fn predictor(&self) -> &Predictor {
+        &self.predictor
+    }
+
+    /// The candidate instance type queries are ranked over.
+    pub fn instance_type(&self) -> InstanceType {
+        self.instance_type
+    }
+
+    /// Number of training points behind the predictor (diagnostics).
+    pub fn db_points(&self) -> usize {
+        self.db_points
+    }
+
+    /// Answer one canonicalized query on this snapshot: the top-k
+    /// candidate list, best first — a pure function of (snapshot, key).
+    pub fn answer(&self, key: &CacheKey) -> Vec<(SystemConfig, f64)> {
+        self.predictor.top_k(key.app(), key.objective(), key.instance_type(), key.k())
+    }
+}
+
+/// The swappable slot holding the current snapshot.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    slot: RwLock<Arc<ModelSnapshot>>,
+}
+
+impl SnapshotStore {
+    /// Create a store whose first generation (version 1) wraps `predictor`.
+    pub fn new(predictor: Predictor, instance_type: InstanceType, db_points: usize) -> Self {
+        Self {
+            slot: RwLock::new(Arc::new(ModelSnapshot {
+                version: 1,
+                predictor,
+                instance_type,
+                db_points,
+            })),
+        }
+    }
+
+    /// Create a store from a bootstrapped [`Acic`] instance, serving the
+    /// paper's evaluation platform candidates.
+    pub fn from_acic(acic: &Acic) -> Self {
+        Self::new(acic.predictor.clone(), InstanceType::Cc2_8xlarge, acic.db.len())
+    }
+
+    /// Load the current snapshot.  The returned `Arc` keeps that
+    /// generation alive for as long as the request needs it, regardless of
+    /// how many publishes happen in the meantime.
+    pub fn load(&self) -> Arc<ModelSnapshot> {
+        self.slot.read().clone()
+    }
+
+    /// Atomically replace the current snapshot with a freshly trained
+    /// predictor; returns the new version id.  Readers that already hold
+    /// the old `Arc` are unaffected (no torn reads — a snapshot is
+    /// immutable after construction).
+    pub fn publish(&self, predictor: Predictor, db_points: usize) -> u64 {
+        let mut slot = self.slot.write();
+        let next = ModelSnapshot {
+            version: slot.version + 1,
+            predictor,
+            instance_type: slot.instance_type,
+            db_points,
+        };
+        let version = next.version;
+        *slot = Arc::new(next);
+        version
+    }
+
+    /// The current version id.
+    pub fn version(&self) -> u64 {
+        self.slot.read().version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic::space::SpacePoint;
+    use acic::{Objective, Trainer};
+
+    fn predictor(seed: u64) -> (Predictor, usize) {
+        let db = Trainer::with_paper_ranking(seed).collect(3).unwrap();
+        (Predictor::train(&db, seed).unwrap(), db.len())
+    }
+
+    #[test]
+    fn publish_bumps_version_and_swaps_atomically() {
+        let (p1, n1) = predictor(5);
+        let store = SnapshotStore::new(p1, InstanceType::Cc2_8xlarge, n1);
+        assert_eq!(store.version(), 1);
+        let held = store.load();
+        let (p2, n2) = predictor(6);
+        assert_eq!(store.publish(p2, n2), 2);
+        assert_eq!(store.version(), 2);
+        // The old generation stays alive and answers on its own model.
+        assert_eq!(held.version(), 1);
+        let key = CacheKey::new(
+            &SpacePoint::default_point().app,
+            Objective::Performance,
+            InstanceType::Cc2_8xlarge,
+            3,
+        );
+        assert_eq!(held.answer(&key), held.answer(&key), "pure function of (snapshot, key)");
+        assert_eq!(store.load().version(), 2);
+    }
+
+    #[test]
+    fn snapshot_answer_matches_direct_predictor_topk() {
+        let (p, n) = predictor(7);
+        let store = SnapshotStore::new(p.clone(), InstanceType::Cc2_8xlarge, n);
+        let app = SpacePoint::default_point().app;
+        let key = CacheKey::new(&app, Objective::Cost, InstanceType::Cc2_8xlarge, 5);
+        assert_eq!(
+            store.load().answer(&key),
+            p.top_k(&app, Objective::Cost, InstanceType::Cc2_8xlarge, 5)
+        );
+        assert_eq!(store.load().db_points(), n);
+    }
+}

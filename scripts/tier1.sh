@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build, full test suite, bench compile check, the CART engine
-# benchmark artifact (BENCH_cart.json at the repo root), and a fault-injection
-# training sweep that must complete with zero skipped points.
+# benchmark artifact (BENCH_cart.json at the repo root), a fault-injection
+# training sweep that must complete with zero skipped points, and the serve
+# smoke gate (replay determinism across worker counts plus BENCH_serve.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,4 +18,19 @@ cargo run --release --offline -p acic-bench --bin bench_cart
 # of the workspace suite (tests/resilience.rs, tests/properties.rs).
 cargo run --release --offline -p acic-cli --bin acic -- \
   train --dims 4 --faults paper-rate --report --out target/tier1-train-db.txt
-rm -f target/tier1-train-db.txt
+
+# Serve gate: the same replay file answered at two worker counts — with a
+# mid-replay hot-swap to a freshly retrained (identical) snapshot — must
+# produce bit-identical stdout, and admission control must shed nothing at
+# tier-1 load (the summary line literally says "shed 0").
+./target/release/acic serve --db target/tier1-train-db.txt --workers 1 \
+  --replay scripts/serve_replay.txt --swap-at 10 > target/tier1-serve-w1.txt
+./target/release/acic serve --db target/tier1-train-db.txt --workers 2 \
+  --replay scripts/serve_replay.txt --swap-at 10 > target/tier1-serve-w2.txt
+cmp target/tier1-serve-w1.txt target/tier1-serve-w2.txt
+grep -q "shed 0" target/tier1-serve-w1.txt
+rm -f target/tier1-train-db.txt target/tier1-serve-w1.txt target/tier1-serve-w2.txt
+
+# Serve benchmark artifact (BENCH_serve.json at the repo root); its own
+# asserts gate throughput scaling, shedding, and hot-swap correctness.
+cargo run --release --offline -p acic-bench --bin bench_serve
