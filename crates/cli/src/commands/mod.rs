@@ -2,6 +2,7 @@
 
 pub mod ior;
 pub mod profile;
+pub mod publish;
 pub mod recommend;
 pub mod screen;
 pub mod serve;
@@ -10,7 +11,8 @@ pub mod train;
 pub mod walk;
 
 use crate::args::Args;
-use acic::{Acic, Metrics, Objective, TrainingDb};
+use acic::{Acic, Metrics, Objective, PublishedSnapshot, Store, TrainingDb};
+use std::path::Path;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -24,14 +26,25 @@ USAGE:
   acic train      [--dims N] [--seed N] [--out FILE] [--ranking paper|screen]
                   [--faults none|paper-rate|PROB[,PENALTY[,ABORT]]]
                   [--retries N] [--resume JOURNAL] [--report] [--allow-skips]
+                  [--store DIR [--compact]]
         Collect an IOR training database over the top N ranked dimensions
         and optionally save it as shareable text.  --faults injects the
         paper's observed connection-loss rate (runs are retried on derived
         seeds, unsalvageable points skipped); --resume checkpoints every
         finished point to an append-only journal and restarts bit-identically
-        from it; --report prints the collection report and metrics.
+        from it; --report prints the collection report and metrics; --store
+        ingests the campaign into the durable training store (idempotent:
+        re-ingesting a resumed campaign appends nothing new).
 
-  acic recommend  --app NAME --procs N [--db FILE | --dims N] [--goal perf|cost]
+  acic publish    --store DIR --out FILE [--seed N] [--model cart|forest|knn]
+                  [--force] [--no-compact] [--report]
+        Compact the durable store and cut a serving snapshot from its
+        canonical sample set.  Incremental: when the existing snapshot
+        already matches (content hash, seed, model), nothing is retrained
+        or rewritten; --force republishes regardless.
+
+  acic recommend  --app NAME --procs N [--db FILE | --snapshot FILE |
+                  --store DIR | --dims N] [--goal perf|cost]
                   [--top K] [--seed N] [--model cart|forest|knn]
                   [--verify [--app-run-secs S]] [--report]
         Profile the application and rank all candidate I/O configurations;
@@ -48,14 +61,17 @@ USAGE:
   acic sweep      --app NAME --procs N [--goal perf|cost] [--seed N] [--report]
         Exhaustively measure every candidate configuration (ground truth).
 
-  acic serve      [--db FILE | --dims N] [--seed N] [--workers N] [--queue N]
-                  [--batch N] [--cache N] [--replay FILE] [--swap-at N] [--report]
+  acic serve      [--db FILE | --snapshot FILE | --store DIR | --dims N]
+                  [--seed N] [--workers N] [--queue N] [--batch N] [--cache N]
+                  [--replay FILE] [--swap-at N] [--watch] [--report]
         Run the concurrent recommendation service over a replay file (or
         stdin) of `<app> <procs> <goal> <k>` request lines.  Requests are
         pipelined through a sharded worker pool with result caching and
         admission control; answers print in request order, bit-identical
         at any --workers count.  --swap-at N hot-swaps a freshly retrained
-        model snapshot after N submissions, while requests are in flight.
+        model snapshot after N submissions, while requests are in flight;
+        --watch (with --snapshot) re-reads the snapshot file between
+        submissions and hot-swaps whenever `acic publish` replaced it.
 
   acic ior        --args \"-a MPIIO -b 16m -t 4m -i 10 -w -c -N 64\"
                   [--config NOTATION] [--seed N]
@@ -80,23 +96,70 @@ pub fn goal(args: &Args) -> Result<Objective, String> {
         .map_err(|e| e.replacen("invalid goal", "invalid --goal", 1))
 }
 
+/// What [`acic_from_args`] resolved: the fitted instance plus the
+/// *effective* seed and model kind.  A snapshot is self-describing — its
+/// embedded seed and model win over the command line — and callers that
+/// retrain (hot-swaps, `--model` overrides) must reuse these to reproduce
+/// the same model.
+pub struct Bootstrapped {
+    pub acic: Acic,
+    pub seed: u64,
+    pub model: acic_cart::ModelKind,
+}
+
 /// Bootstrap an [`Acic`] instance the way `recommend` and `serve` share:
-/// from a `--db` file when given, else by training in-process over the top
-/// `--dims` paper-ranked dimensions.
-pub fn acic_from_args(args: &Args, seed: u64, metrics: &Metrics) -> Result<Acic, String> {
+/// from a `--db` file, a published `--snapshot`, the durable `--store`, or
+/// (none given) by training in-process over the top `--dims` paper-ranked
+/// dimensions.
+pub fn acic_from_args(args: &Args, seed: u64, metrics: &Metrics) -> Result<Bootstrapped, String> {
     let _span = metrics.span("phase.train");
-    let acic = match args.get("db") {
-        Some(path) => {
+    let sources = ["db", "snapshot", "store"].iter().filter(|f| args.get(f).is_some()).count()
+        + usize::from(args.get("dims").is_some());
+    if sources > 1 {
+        return Err("--db, --snapshot, --store, and --dims are mutually exclusive".into());
+    }
+    let mut effective = (seed, acic_cart::ModelKind::Cart);
+    let acic = match (args.get("db"), args.get("snapshot"), args.get("store")) {
+        (Some(path), _, _) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let db = TrainingDb::from_text(&text).map_err(|e| e.to_string())?;
             eprintln!("loaded {} training points from {path}", db.len());
             Acic::from_db(db, seed).map_err(|e| e.to_string())?
         }
-        None => {
+        (None, Some(path), _) => {
+            let snap = PublishedSnapshot::read(Path::new(path)).map_err(|e| e.to_string())?;
+            eprintln!(
+                "loaded snapshot {path}: {} samples, hash {:016x}, seed {}, model {}",
+                snap.samples.len(),
+                snap.hash,
+                snap.seed,
+                snap.model
+            );
+            effective = (snap.seed, snap.model);
+            let mut acic =
+                Acic::from_db(snap.to_training_db(), snap.seed).map_err(|e| e.to_string())?;
+            if snap.model != acic_cart::ModelKind::Cart {
+                acic.retrain_with(snap.model).map_err(|e| e.to_string())?;
+            }
+            acic
+        }
+        (None, None, Some(dir)) => {
+            let store = Store::open(Path::new(dir)).map_err(|e| e.to_string())?;
+            let r = store.open_report();
+            eprintln!(
+                "opened store {dir}: {} samples ({} segment(s){})",
+                store.len(),
+                r.segments,
+                if r.repaired() { ", repairs applied" } else { "" }
+            );
+            Acic::from_db(store.to_training_db(), seed).map_err(|e| e.to_string())?
+        }
+        (None, None, None) => {
             let dims: usize = args.parse_or("dims", 10)?;
             eprintln!("no --db given; training in-process over the top {dims} dimensions...");
             Acic::with_paper_ranking(dims, seed).map_err(|e| e.to_string())?
         }
     };
-    Ok(acic)
+    let (seed, model) = effective;
+    Ok(Bootstrapped { acic, seed, model })
 }

@@ -1,0 +1,104 @@
+//! `acic publish` — cut a serving snapshot from the durable training
+//! store.
+//!
+//! Opens the store (repairing torn WAL tails and orphaned segments as it
+//! goes), compacts it into its canonical single-segment form, and writes a
+//! [`PublishedSnapshot`] the serving layer loads with `--snapshot` (or
+//! watches with `serve --watch`).  Publishing is *incremental*: when the
+//! existing snapshot already carries the same canonical-set hash, seed,
+//! and model kind, nothing is retrained and nothing is rewritten — the
+//! file's bytes (and any watcher's view of it) are untouched.
+
+use crate::args::Args;
+use acic::store::{model_code, parse_model_code};
+use acic::{Metrics, Predictor, PublishedSnapshot, Store};
+use acic_cart::ModelKind;
+use std::path::Path;
+
+/// Parse `--model`: the friendly words `recommend` accepts plus explicit
+/// snapshot codes (`forest:12`, `knn:3`).
+pub fn parse_model_flag(word: &str) -> Result<ModelKind, String> {
+    match word {
+        "cart" => Ok(ModelKind::Cart),
+        "forest" => Ok(ModelKind::Forest { n_trees: 25 }),
+        "knn" => Ok(ModelKind::Knn { k: 7 }),
+        other => parse_model_code(other)
+            .map_err(|_| format!("invalid --model {other:?} (cart, forest[:N], or knn[:K])")),
+    }
+}
+
+pub fn run(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["store", "out", "seed", "model", "force", "no-compact", "report"])?;
+    let store_dir = args.get("store").ok_or("--store DIR is required")?;
+    let out = args.get("out").ok_or("--out FILE is required")?;
+    let seed: u64 = args.parse_or("seed", 20131117)?;
+    let model = parse_model_flag(args.get_or("model", "cart"))?;
+    let metrics = Metrics::new();
+
+    let mut store = Store::open(Path::new(store_dir)).map_err(|e| e.to_string())?;
+    let report = store.open_report();
+    eprintln!(
+        "store {store_dir}: {} samples ({} in {} segment(s), {} in WAL)",
+        store.len(),
+        report.segment_samples,
+        report.segments,
+        report.wal_samples
+    );
+    if report.repaired() {
+        eprintln!(
+            "repaired on open: {} torn WAL byte(s) truncated, {} duplicate WAL line(s) absorbed, \
+             {} orphan segment(s) removed",
+            report.torn_wal_bytes, report.wal_duplicates, report.orphan_segments
+        );
+    }
+    if store.is_empty() {
+        return Err(format!("store {store_dir} holds no samples; run `acic train --store` first"));
+    }
+
+    if !args.flag("no-compact") {
+        let _span = metrics.span("phase.compact");
+        let c = store.compact().map_err(|e| e.to_string())?;
+        if c.changed {
+            eprintln!(
+                "compacted {} segment(s) + WAL into {} canonical samples ({} duplicate(s) dropped)",
+                c.segments_merged, c.samples, c.duplicates_dropped
+            );
+        }
+    }
+
+    let samples = store.canonical();
+    let hash = acic::store::hash_samples(&samples);
+
+    // Incremental publish: identical (hash, seed, model) means the bytes
+    // on disk would come out identical — skip the retrain and the write.
+    if !args.flag("force") {
+        if let Ok(existing) = PublishedSnapshot::read(Path::new(out)) {
+            if existing.hash == hash && existing.seed == seed && existing.model == model {
+                eprintln!(
+                    "snapshot {out} is up to date (hash {hash:016x}, seed {seed}, model {})",
+                    model_code(model)
+                );
+                return Ok(());
+            }
+        }
+    }
+
+    let snapshot = PublishedSnapshot { hash, seed, model, samples };
+    {
+        // Validation fit: never publish a snapshot the serving layer
+        // cannot train from.
+        let _span = metrics.span("phase.train");
+        Predictor::train_with(&snapshot.to_training_db(), seed, model)
+            .map_err(|e| format!("snapshot failed its validation fit: {e}"))?;
+    }
+    snapshot.write(Path::new(out)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "published {} samples to {out} (hash {hash:016x}, seed {seed}, model {})",
+        snapshot.samples.len(),
+        model_code(model)
+    );
+    if args.flag("report") {
+        eprint!("{}", metrics.render());
+    }
+    Ok(())
+}

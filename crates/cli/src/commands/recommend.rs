@@ -18,6 +18,8 @@ pub fn run(args: &Args) -> Result<(), String> {
         "procs",
         "db",
         "dims",
+        "snapshot",
+        "store",
         "goal",
         "top",
         "seed",
@@ -26,6 +28,9 @@ pub fn run(args: &Args) -> Result<(), String> {
         "model",
         "report",
     ])?;
+    if args.get("snapshot").is_some() && args.get("model").is_some() {
+        return Err("--model conflicts with --snapshot (the snapshot embeds its model kind)".into());
+    }
     let metrics = Metrics::new();
     let app_name = args.get("app").ok_or("--app is required")?;
     let procs: usize = args.parse_or("procs", 64)?;
@@ -34,17 +39,17 @@ pub fn run(args: &Args) -> Result<(), String> {
     let objective = goal(args)?;
     let model = app_by_name(app_name, procs)?;
 
-    let model_kind = match args.get_or("model", "cart") {
-        "cart" => acic_cart::ModelKind::Cart,
-        "forest" => acic_cart::ModelKind::Forest { n_trees: 25 },
-        "knn" => acic_cart::ModelKind::Knn { k: 7 },
-        other => return Err(format!("invalid --model {other:?} (cart, forest, or knn)")),
-    };
-
-    let mut acic = acic_from_args(args, seed, &metrics)?;
+    let boot = acic_from_args(args, seed, &metrics)?;
+    let mut acic = boot.acic;
     metrics.incr("recommend.db.points", acic.db.len() as u64);
 
-    if model_kind != acic_cart::ModelKind::Cart {
+    // The snapshot's embedded model already fitted inside acic_from_args;
+    // otherwise an explicit --model retrains over the loaded database.
+    let model_kind = match args.get("model") {
+        Some(word) => crate::commands::publish::parse_model_flag(word)?,
+        None => boot.model,
+    };
+    if model_kind != boot.model {
         let _span = metrics.span("phase.retrain");
         acic.retrain_with(model_kind).map_err(|e| e.to_string())?;
     }

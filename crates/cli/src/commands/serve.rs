@@ -13,9 +13,10 @@ use crate::args::Args;
 use crate::commands::{acic_from_args, parse_goal};
 use crate::registry::app_by_name;
 use acic::profile::app_point_from;
-use acic::{Metrics, Predictor};
+use acic::{Metrics, Predictor, PublishedSnapshot};
 use acic_serve::{Pending, Request, ServeConfig, Server};
 use std::io::Read;
+use std::path::Path;
 
 /// Parse one replay line into a display label and a request.
 fn parse_request_line(line: &str) -> Result<(String, Request), String> {
@@ -35,14 +36,20 @@ fn parse_request_line(line: &str) -> Result<(String, Request), String> {
 
 pub fn run(args: &Args) -> Result<(), String> {
     args.reject_unknown(&[
-        "db", "dims", "seed", "workers", "queue", "batch", "cache", "replay", "swap-at", "report",
+        "db", "dims", "snapshot", "store", "seed", "workers", "queue", "batch", "cache", "replay",
+        "swap-at", "watch", "report",
     ])?;
     let metrics = Metrics::new();
     let seed: u64 = args.parse_or("seed", 20131117)?;
     let workers: usize = args.parse_or("workers", 2)?;
     let swap_at: usize = args.parse_or("swap-at", usize::MAX)?;
+    let watch = args.flag("watch");
+    if watch && args.get("snapshot").is_none() {
+        return Err("--watch requires --snapshot FILE (the file `acic publish` writes)".into());
+    }
 
-    let acic = acic_from_args(args, seed, &metrics)?;
+    let boot = acic_from_args(args, seed, &metrics)?;
+    let acic = boot.acic;
 
     let text = match args.get("replay") {
         Some(path) => {
@@ -83,17 +90,45 @@ pub fn run(args: &Args) -> Result<(), String> {
     );
 
     // Pipelined submission; `--swap-at N` republishes an identically
-    // retrained snapshot mid-replay while earlier requests are in flight.
+    // retrained snapshot mid-replay while earlier requests are in flight,
+    // and `--watch` hot-swaps whenever `acic publish` replaces the
+    // snapshot file.
+    let snapshot_path = args.get("snapshot");
+    let mut watched = snapshot_path
+        .filter(|_| watch)
+        .map(|p| PublishedSnapshot::read(Path::new(p)).map(|s| (s.hash, s.seed, s.model)))
+        .transpose()
+        .map_err(|e| e.to_string())?;
     let pending: Vec<Pending> = {
         let _span = metrics.span("phase.replay");
         let mut out = Vec::with_capacity(requests.len());
         for (i, (_, req)) in requests.iter().enumerate() {
             if i == swap_at {
                 let _swap = metrics.span("phase.swap");
-                let retrained =
-                    Predictor::train(&acic.db, seed).map_err(|e| e.to_string())?;
+                let retrained = Predictor::train_with(&acic.db, boot.seed, boot.model)
+                    .map_err(|e| e.to_string())?;
                 let v = server.publish(retrained, acic.db.len());
                 eprintln!("hot-swapped to snapshot v{v} after {i} submissions");
+            }
+            if let (Some(path), Some(last)) = (snapshot_path, watched.as_mut()) {
+                // A republished file changes its (hash, seed, model)
+                // identity; an incremental no-op publish changes nothing
+                // and is skipped here too.
+                let snap = PublishedSnapshot::read(Path::new(path)).map_err(|e| e.to_string())?;
+                let id = (snap.hash, snap.seed, snap.model);
+                if id != *last {
+                    let _swap = metrics.span("phase.swap");
+                    let db = snap.to_training_db();
+                    let retrained = Predictor::train_with(&db, snap.seed, snap.model)
+                        .map_err(|e| e.to_string())?;
+                    let v = server.publish(retrained, db.len());
+                    *last = id;
+                    eprintln!(
+                        "watched snapshot changed (hash {:016x}); hot-swapped to v{v} after {i} \
+                         submissions",
+                        snap.hash
+                    );
+                }
             }
             out.push(handle.submit_blocking(*req).map_err(|e| e.to_string())?);
         }

@@ -18,7 +18,12 @@ pub fn run(args: &Args) -> Result<(), String> {
         "report",
         "retries",
         "allow-skips",
+        "store",
+        "compact",
     ])?;
+    if args.flag("compact") && args.get("store").is_none() {
+        return Err("--compact requires --store".into());
+    }
     let dims: usize = args.parse_or("dims", 7)?;
     let seed: u64 = args.parse_or("seed", 20131117)?;
     if dims == 0 || dims > 15 {
@@ -70,6 +75,35 @@ pub fn run(args: &Args) -> Result<(), String> {
     if args.flag("report") {
         eprint!("{}", report.render());
         eprint!("{}", metrics.render());
+    }
+
+    // Durable ingest: append this campaign's observations (with their
+    // provenance) to the training store.  Idempotent — re-running or
+    // resuming the same campaign appends nothing new.
+    if let Some(dir) = args.get("store") {
+        let mut store = acic::Store::open(Path::new(dir)).map_err(|e| e.to_string())?;
+        if store.open_report().repaired() {
+            let r = store.open_report();
+            eprintln!(
+                "store {dir} repaired on open: {} torn WAL byte(s), {} orphan segment(s)",
+                r.torn_wal_bytes, r.orphan_segments
+            );
+        }
+        let stats = store
+            .ingest_collection(&trainer.campaign_id(&points), &collection)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "store {dir}: {} sample(s) appended, {} duplicate(s) skipped ({} total)",
+            stats.appended,
+            stats.duplicates,
+            store.len()
+        );
+        if args.flag("compact") {
+            let c = store.compact().map_err(|e| e.to_string())?;
+            if c.changed {
+                eprintln!("store {dir}: compacted to {} canonical sample(s)", c.samples);
+            }
+        }
     }
 
     match args.get("out") {

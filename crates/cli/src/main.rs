@@ -6,8 +6,9 @@
 //!
 //! ```text
 //! acic screen     [--goal perf|cost] [--seed N]
-//! acic train      [--dims N] [--seed N] [--out db.txt]
-//! acic recommend  --app NAME --procs N [--db db.txt|--dims N] [--goal ..] [--top K]
+//! acic train      [--dims N] [--seed N] [--out db.txt] [--store DIR]
+//! acic publish    --store DIR --out snap.txt [--model ..] [--force]
+//! acic recommend  --app NAME --procs N [--db db.txt|--snapshot FILE|--dims N] [--goal ..] [--top K]
 //! acic profile    --app NAME --procs N [--trace file] [--emit-trace file]
 //! acic walk       --app NAME --procs N [--goal ..] [--random] [--seed N]
 //! acic sweep      --app NAME --procs N [--goal ..]
@@ -32,6 +33,7 @@ fn main() {
     let result = match parsed.command.as_deref() {
         Some("screen") => commands::screen::run(&parsed),
         Some("train") => commands::train::run(&parsed),
+        Some("publish") => commands::publish::run(&parsed),
         Some("recommend") => commands::recommend::run(&parsed),
         Some("profile") => commands::profile::run(&parsed),
         Some("ior") => commands::ior::run(&parsed),

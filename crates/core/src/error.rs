@@ -29,6 +29,16 @@ pub enum AcicError {
         /// Why it was rejected.
         reason: String,
     },
+    /// A durable training store (or published snapshot) file violated the
+    /// store format.  Torn WAL tails never raise this — those are
+    /// truncated and reported; this is reserved for real corruption of
+    /// data the store promised to keep immutable.
+    Store {
+        /// The offending file or directory.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 impl AcicError {
@@ -58,6 +68,9 @@ impl fmt::Display for AcicError {
             AcicError::Io { path, reason } => write!(f, "I/O error on {path}: {reason}"),
             AcicError::Journal { path, reason } => {
                 write!(f, "unusable training journal {path}: {reason}")
+            }
+            AcicError::Store { path, reason } => {
+                write!(f, "unusable training store {path}: {reason}")
             }
         }
     }
@@ -115,6 +128,7 @@ mod tests {
             AcicError::Invalid("x".into()),
             AcicError::Untrained,
             AcicError::Codec { line: 1, reason: "r".into() },
+            AcicError::Store { path: "s".into(), reason: "r".into() },
         ] {
             assert!(!e.is_transient(), "{e} must be permanent");
         }

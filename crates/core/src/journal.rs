@@ -12,14 +12,22 @@
 //! Format (line-oriented, reusing the `TrainingDb::to_text` row framing):
 //!
 //! ```text
-//! acic-journal v1
+//! acic-journal v2
 //! campaign seed=<u64> points=<count> fingerprint=<16 hex digits>
-//! ok	<index>	<secs>	<cost>	<17 tab-separated training-point fields>
+//! ok	<index>	<attempts>	<secs>	<cost>	<17 tab-separated training-point fields>
 //! skip	<index>	<attempts>	<secs>	<cost>	<reason>
 //! ```
 //!
 //! A torn final line (the process died mid-append) is tolerated and
 //! ignored; any other malformed content is a typed [`AcicError::Journal`].
+//! An unterminated final line is *never* trusted, even when its prefix
+//! happens to parse — a tear inside a numeric field can leave a shorter
+//! number that still parses, silently corrupting the restored value.  The
+//! loader reports how many bytes were valid ([`JournalState::valid_bytes`])
+//! and a resuming writer must truncate to that length before appending
+//! ([`JournalWriter::resume`]); appending straight after a torn fragment
+//! would concatenate the first new entry onto the fragment, producing a
+//! newline-terminated garbage line that poisons the *next* resume.
 
 use crate::error::AcicError;
 use crate::training::{point_from_fields, point_to_line, TrainingPoint};
@@ -28,8 +36,11 @@ use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-/// Journal format version line.
-pub const JOURNAL_VERSION: &str = "acic-journal v1";
+/// Journal format version line.  v2 added the attempts column to `ok`
+/// entries so restored points carry full provenance (the durable store
+/// records per-sample attempt counts); v1 journals are rejected rather
+/// than resumed with degraded provenance.
+pub const JOURNAL_VERSION: &str = "acic-journal v2";
 
 /// Identity of a campaign: a journal may only resume the exact campaign
 /// that wrote it (same seed, same point list, same fault/retry plans —
@@ -60,6 +71,8 @@ pub enum JournalEntry {
     Ok {
         /// Index in the campaign's point list.
         index: usize,
+        /// Runs attempted to produce the observation (>= 1).
+        attempts: u32,
         /// Simulated seconds charged to the campaign for this point.
         secs: f64,
         /// Simulated USD charged to the campaign for this point.
@@ -92,8 +105,8 @@ impl JournalEntry {
 
     fn to_line(&self) -> String {
         match self {
-            JournalEntry::Ok { index, secs, cost, point } => {
-                format!("ok\t{index}\t{secs}\t{cost}\t{}", point_to_line(point))
+            JournalEntry::Ok { index, attempts, secs, cost, point } => {
+                format!("ok\t{index}\t{attempts}\t{secs}\t{cost}\t{}", point_to_line(point))
             }
             JournalEntry::Skip { index, attempts, secs, cost, reason } => {
                 let clean: String =
@@ -110,15 +123,16 @@ impl JournalEntry {
         let num = |s: &str, what: &str| s.parse::<f64>().map_err(|_| bad(what));
         match f.first().copied() {
             Some("ok") => {
-                if f.len() != 4 + 17 {
-                    return Err(bad("ok entry needs 21 tab-separated fields"));
+                if f.len() != 5 + 17 {
+                    return Err(bad("ok entry needs 22 tab-separated fields"));
                 }
-                let point = point_from_fields(&f[4..], lineno)
+                let point = point_from_fields(&f[5..], lineno)
                     .map_err(|e| bad(&format!("bad point: {e}")))?;
                 Ok(JournalEntry::Ok {
                     index: index(f[1])?,
-                    secs: num(f[2], "bad secs")?,
-                    cost: num(f[3], "bad cost")?,
+                    attempts: f[2].parse().map_err(|_| bad("bad attempts"))?,
+                    secs: num(f[3], "bad secs")?,
+                    cost: num(f[4], "bad cost")?,
                     point,
                 })
             }
@@ -144,6 +158,12 @@ impl JournalEntry {
 pub struct JournalState {
     /// One entry per journaled point (duplicates keep the first record).
     pub entries: BTreeMap<usize, JournalEntry>,
+    /// Byte length of the trusted prefix (header plus every complete,
+    /// newline-terminated entry).  A resuming writer truncates to this
+    /// length before appending.
+    pub valid_bytes: u64,
+    /// Bytes of torn final line dropped by the loader (0 for a clean file).
+    pub torn_bytes: u64,
 }
 
 /// Append-side handle; safe to share across worker threads.
@@ -162,12 +182,18 @@ impl JournalWriter {
         Ok(Self { path: path.to_path_buf(), file: Mutex::new(file) })
     }
 
-    /// Open an existing journal for appending (resume).
-    pub fn append_to(path: &Path) -> Result<Self, AcicError> {
+    /// Reopen an existing journal for appending (resume), truncating any
+    /// torn tail first.  `valid_bytes` is the trusted-prefix length the
+    /// loader reported ([`JournalState::valid_bytes`]); appending without
+    /// truncating would concatenate the first resumed entry onto the torn
+    /// fragment, forming a newline-terminated garbage line that the next
+    /// resume can no longer distinguish from real corruption.
+    pub fn resume(path: &Path, valid_bytes: u64) -> Result<Self, AcicError> {
         let file = std::fs::OpenOptions::new()
             .append(true)
             .open(path)
             .map_err(|e| AcicError::io(path, e))?;
+        file.set_len(valid_bytes).map_err(|e| AcicError::io(path, e))?;
         Ok(Self { path: path.to_path_buf(), file: Mutex::new(file) })
     }
 
@@ -190,17 +216,38 @@ pub fn load(path: &Path, expected: &CampaignId) -> Result<JournalState, AcicErro
         .map_err(|reason| AcicError::Journal { path: path.display().to_string(), reason })
 }
 
+/// Read a journal without knowing its campaign up front (durable-store
+/// ingest): returns the embedded campaign identity with the restored
+/// state.  Entry indices are validated against the embedded point count.
+pub fn inspect(path: &Path) -> Result<(CampaignId, JournalState), AcicError> {
+    let text = std::fs::read_to_string(path).map_err(|e| AcicError::io(path, e))?;
+    let journal_err =
+        |reason: String| AcicError::Journal { path: path.display().to_string(), reason };
+    let mut lines = text.split_inclusive('\n');
+    let _version = lines.next().ok_or_else(|| journal_err("empty journal".into()))?;
+    let campaign = lines
+        .next()
+        .filter(|l| l.ends_with('\n'))
+        .ok_or_else(|| journal_err("missing campaign line".into()))?;
+    let id = parse_campaign_line(campaign.trim_end()).map_err(|e| journal_err(e.to_string()))?;
+    let state = parse(&text, &id).map_err(journal_err)?;
+    Ok((id, state))
+}
+
 fn parse(text: &str, expected: &CampaignId) -> Result<JournalState, String> {
-    let complete_tail = text.ends_with('\n');
-    let lines: Vec<&str> = text.lines().collect();
-    if lines.is_empty() {
-        return Err("empty journal".into());
+    let mut raw_lines = text.split_inclusive('\n');
+    let version = raw_lines.next().ok_or("empty journal")?;
+    if !version.ends_with('\n') {
+        return Err("truncated version header".into());
     }
-    if lines[0].trim() != JOURNAL_VERSION {
-        return Err(format!("unknown version header {:?}", lines[0]));
+    if version.trim() != JOURNAL_VERSION {
+        return Err(format!("unknown version header {:?}", version.trim_end()));
     }
-    let header = lines.get(1).ok_or("missing campaign line")?;
-    let written = parse_campaign_line(header)?;
+    let campaign = raw_lines.next().ok_or("missing campaign line")?;
+    if !campaign.ends_with('\n') {
+        return Err("truncated campaign line".into());
+    }
+    let written = parse_campaign_line(campaign.trim_end())?;
     if written != *expected {
         return Err(format!(
             "journal belongs to a different campaign \
@@ -217,28 +264,32 @@ fn parse(text: &str, expected: &CampaignId) -> Result<JournalState, String> {
     }
 
     let mut state = JournalState::default();
-    for (i, line) in lines.iter().enumerate().skip(2) {
-        if line.trim().is_empty() {
+    state.valid_bytes = (version.len() + campaign.len()) as u64;
+    let mut lineno = 2usize;
+    for raw in raw_lines {
+        lineno += 1;
+        if !raw.ends_with('\n') {
+            // The process died mid-append.  An unterminated final line is
+            // never trusted, even when its prefix parses: a tear inside a
+            // numeric field can leave a shorter number that still parses.
+            state.torn_bytes = raw.len() as u64;
+            break;
+        }
+        let line = raw.trim_end();
+        if line.is_empty() {
+            state.valid_bytes += raw.len() as u64;
             continue;
         }
-        let is_torn_tail = i + 1 == lines.len() && !complete_tail;
-        let entry = match JournalEntry::parse(line, i + 1) {
-            Ok(e) => e,
-            Err(_) if is_torn_tail => break, // the process died mid-append
-            Err(e) => return Err(e),
-        };
+        let entry = JournalEntry::parse(line, lineno)?;
         if entry.index() >= expected.points {
-            if is_torn_tail {
-                break;
-            }
             return Err(format!(
-                "line {}: point index {} out of range (campaign has {} points)",
-                i + 1,
+                "line {lineno}: point index {} out of range (campaign has {} points)",
                 entry.index(),
                 expected.points
             ));
         }
         state.entries.entry(entry.index()).or_insert(entry);
+        state.valid_bytes += raw.len() as u64;
     }
     Ok(state)
 }
@@ -293,7 +344,13 @@ mod tests {
 
     #[test]
     fn entries_round_trip_through_lines() {
-        let ok = JournalEntry::Ok { index: 2, secs: 123.456, cost: 0.789, point: sample_point() };
+        let ok = JournalEntry::Ok {
+            index: 2,
+            attempts: 3,
+            secs: 123.456,
+            cost: 0.789,
+            point: sample_point(),
+        };
         let skip = JournalEntry::Skip {
             index: 3,
             attempts: 4,
@@ -318,7 +375,8 @@ mod tests {
         let path = tmp_dir().join("roundtrip.journal");
         let id = id();
         let w = JournalWriter::create(&path, &id).unwrap();
-        let e0 = JournalEntry::Ok { index: 0, secs: 1.5, cost: 0.1, point: sample_point() };
+        let e0 =
+            JournalEntry::Ok { index: 0, attempts: 1, secs: 1.5, cost: 0.1, point: sample_point() };
         let e3 = JournalEntry::Skip { index: 3, attempts: 2, secs: 9.0, cost: 0.0, reason: "x".into() };
         w.append(&e0).unwrap();
         w.append(&e3).unwrap();
@@ -326,6 +384,9 @@ mod tests {
         assert_eq!(state.entries.len(), 2);
         assert_eq!(state.entries[&0], e0);
         assert_eq!(state.entries[&3], e3);
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(state.valid_bytes, len, "a clean journal is trusted in full");
+        assert_eq!(state.torn_bytes, 0);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -334,15 +395,80 @@ mod tests {
         let path = tmp_dir().join("torn.journal");
         let id = id();
         let w = JournalWriter::create(&path, &id).unwrap();
-        let e0 = JournalEntry::Ok { index: 0, secs: 1.5, cost: 0.1, point: sample_point() };
+        let e0 =
+            JournalEntry::Ok { index: 0, attempts: 1, secs: 1.5, cost: 0.1, point: sample_point() };
         w.append(&e0).unwrap();
         drop(w);
+        let clean_len = std::fs::metadata(&path).unwrap().len();
         // Simulate a mid-append kill: half an entry, no trailing newline.
         let mut text = std::fs::read_to_string(&path).unwrap();
-        text.push_str("ok\t1\t2.5");
+        text.push_str("ok\t1\t1\t2.5");
         std::fs::write(&path, &text).unwrap();
         let state = load(&path, &id).unwrap();
         assert_eq!(state.entries.len(), 1, "torn tail must be dropped");
+        assert_eq!(state.valid_bytes, clean_len, "trusted prefix excludes the tear");
+        assert_eq!(state.torn_bytes, "ok\t1\t1\t2.5".len() as u64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parseable_torn_tail_is_still_dropped() {
+        // A tear inside the final numeric field leaves a shorter number
+        // that parses fine; trusting it would restore a corrupted value.
+        let path = tmp_dir().join("torn-parseable.journal");
+        let id = id();
+        let w = JournalWriter::create(&path, &id).unwrap();
+        let e0 =
+            JournalEntry::Ok { index: 0, attempts: 1, secs: 1.5, cost: 0.1, point: sample_point() };
+        w.append(&e0).unwrap();
+        drop(w);
+        let e1 =
+            JournalEntry::Ok { index: 1, attempts: 1, secs: 2.5, cost: 0.2, point: sample_point() };
+        let full = e1.to_line();
+        // Chop the trailing "5" of cost_improvement=0.75 → "0.7" still
+        // parses as all 22 fields, but the value is wrong.
+        let torn = &full[..full.len() - 1];
+        assert!(JournalEntry::parse(torn, 4).is_ok(), "tear must parse to exercise the bug");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(torn);
+        std::fs::write(&path, &text).unwrap();
+        let state = load(&path, &id).unwrap();
+        assert_eq!(state.entries.len(), 1, "an unterminated line is never trusted");
+        assert!(!state.entries.contains_key(&1));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_truncates_torn_tail_before_appending() {
+        // Kill mid-append, resume, write the re-run point: the journal must
+        // end up byte-identical to one that never tore — appending without
+        // truncation would weld the new entry onto the torn fragment and
+        // poison the next load.
+        let path = tmp_dir().join("torn-then-append.journal");
+        let id = id();
+        let w = JournalWriter::create(&path, &id).unwrap();
+        let e0 =
+            JournalEntry::Ok { index: 0, attempts: 1, secs: 1.5, cost: 0.1, point: sample_point() };
+        w.append(&e0).unwrap();
+        drop(w);
+        let e1 =
+            JournalEntry::Ok { index: 1, attempts: 2, secs: 2.5, cost: 0.2, point: sample_point() };
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let clean = text.clone();
+        text.push_str(&e1.to_line()[..10]); // torn fragment, no newline
+        std::fs::write(&path, &text).unwrap();
+
+        let state = load(&path, &id).unwrap();
+        let w = JournalWriter::resume(&path, state.valid_bytes).unwrap();
+        w.append(&e1).unwrap();
+        drop(w);
+
+        let resumed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(resumed, format!("{clean}{}\n", e1.to_line()));
+        let state = load(&path, &id).unwrap();
+        assert_eq!(state.entries.len(), 2);
+        assert_eq!(state.entries[&1], e1);
+        assert_eq!(state.torn_bytes, 0);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -365,7 +491,9 @@ mod tests {
     fn corrupt_bodies_are_typed_errors() {
         let id = id();
         assert!(parse("", &id).is_err());
-        assert!(parse("acic-journal v2\n", &id).is_err());
+        assert!(parse("acic-journal v99\n", &id).is_err());
+        assert!(parse("acic-journal v1\n", &id).is_err(), "v1 journals are rejected");
+        assert!(parse(JOURNAL_VERSION, &id).is_err(), "torn version header");
         assert!(parse(&format!("{JOURNAL_VERSION}\n"), &id).is_err());
         // A completed (newline-terminated) garbage line is NOT torn — error.
         let text = format!("{}garbage\tline\n", id_header(&id));

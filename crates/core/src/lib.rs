@@ -34,7 +34,10 @@
 //!    figures to place ACIC's pick inside the full candidate spectrum).
 //!
 //! The [`acic::Acic`] facade ties the pipeline together; see
-//! `examples/quickstart.rs` at the workspace root.
+//! `examples/quickstart.rs` at the workspace root.  Campaigns persist
+//! their observations in the durable, deduplicating [`store`] (append-only
+//! WAL compacted into content-addressed segments), from which `acic
+//! publish` cuts [`store::PublishedSnapshot`]s for the serving layer.
 
 pub mod acic;
 pub mod error;
@@ -47,6 +50,7 @@ pub mod profile;
 pub mod reducer;
 pub mod resilience;
 pub mod space;
+pub mod store;
 pub mod sweep;
 pub mod training;
 pub mod verify;
@@ -57,7 +61,8 @@ pub use error::AcicError;
 pub use objective::Objective;
 pub use obs::Metrics;
 pub use predictor::Predictor;
-pub use resilience::{Collection, CollectionReport, RetryPolicy, SkippedPoint};
+pub use resilience::{Collection, CollectionReport, PointProvenance, RetryPolicy, SkippedPoint};
 pub use space::{AppPoint, CacheKey, ParamId, SystemConfig};
+pub use store::{PublishedSnapshot, Store, StoreSample};
 pub use training::{CollectOptions, Trainer, TrainingDb, TrainingPoint};
 pub use verify::{verify_top_k, Verification, VerifiedCandidate};

@@ -28,11 +28,15 @@ struct Hist {
     counts: [u64; LATENCY_BUCKETS],
     n: u64,
     sum_secs: f64,
+    /// Largest observation seen, used to bound quantile reports: the
+    /// overflow bucket has no finite upper edge, and reporting its nominal
+    /// bound (≈ 268 s) for a 10-minute outlier would *under*report.
+    max_secs: f64,
 }
 
 impl Default for Hist {
     fn default() -> Self {
-        Self { counts: [0; LATENCY_BUCKETS], n: 0, sum_secs: 0.0 }
+        Self { counts: [0; LATENCY_BUCKETS], n: 0, sum_secs: 0.0, max_secs: 0.0 }
     }
 }
 
@@ -54,11 +58,17 @@ impl Hist {
     fn record(&mut self, secs: f64) {
         self.counts[Self::bucket_for(secs)] += 1;
         self.n += 1;
-        self.sum_secs += secs.max(0.0);
+        let secs = secs.max(0.0);
+        self.sum_secs += secs;
+        self.max_secs = self.max_secs.max(secs);
     }
 
-    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket
-    /// holding the ⌈q·n⌉-th smallest observation.
+    /// The `q`-quantile (0 < q ≤ 1) as an upper bound on the ⌈q·n⌉-th
+    /// smallest observation: the bound of the bucket it lands in, tightened
+    /// to the largest observation ever recorded.  The overflow bucket —
+    /// whose nominal edge would *under*report anything above ≈ 268 s —
+    /// therefore reports the true maximum.  An empty histogram has no
+    /// quantiles: always `None`, never a fabricated bound.
     fn quantile(&self, q: f64) -> Option<f64> {
         if self.n == 0 {
             return None;
@@ -68,10 +78,14 @@ impl Hist {
         for (b, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(Self::upper_secs(b));
+                return Some(if b + 1 == LATENCY_BUCKETS {
+                    self.max_secs
+                } else {
+                    Self::upper_secs(b).min(self.max_secs)
+                });
             }
         }
-        Some(Self::upper_secs(LATENCY_BUCKETS - 1))
+        Some(self.max_secs)
     }
 }
 
@@ -312,6 +326,44 @@ mod tests {
         assert!(r.contains("latencies:"), "{r}");
         assert!(r.contains("serve.predict"), "{r}");
         assert!(r.contains("p99="), "{r}");
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_reports_the_true_maximum() {
+        // Pre-fix, a histogram whose only observation sat in the overflow
+        // bucket reported the bucket's nominal edge (≈ 268.4 s) for
+        // quantile(1.0) — underreporting a 300 s outlier by half a minute.
+        let mut h = Hist::default();
+        h.record(300.0);
+        assert_eq!(Hist::bucket_for(300.0), LATENCY_BUCKETS - 1);
+        assert_eq!(h.quantile(1.0), Some(300.0));
+        assert_eq!(h.quantile(0.5), Some(300.0));
+        // Mixed: the overflow outlier still dominates high quantiles.
+        for _ in 0..99 {
+            h.record(1e-3);
+        }
+        assert_eq!(h.quantile(1.0), Some(300.0));
+        assert!(h.quantile(0.5).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_tightened_to_the_observed_maximum() {
+        // A single 3 ms observation lands in the [2048µs, 4096µs) bucket;
+        // the quantile must not report the loose 4.096 ms edge.
+        let mut h = Hist::default();
+        h.record(3e-3);
+        assert_eq!(h.quantile(1.0), Some(3e-3));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Hist::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+        let m = Metrics::new();
+        assert_eq!(m.latency_quantile("never.recorded", 1.0), None);
+        assert_eq!(m.latency_count("never.recorded"), 0);
     }
 
     #[test]

@@ -65,6 +65,20 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Provenance of one completed observation, in campaign index order —
+/// exactly parallel to [`Collection`]'s `db.points`.  The durable store
+/// ingests this alongside the observations: recording the attempt count
+/// per sample keeps provenance identical whether a campaign ran straight
+/// through or was killed and resumed (resumed entries restore their
+/// journaled attempts instead of defaulting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointProvenance {
+    /// Index of the point in the campaign's point list.
+    pub index: usize,
+    /// Runs attempted to produce the observation (>= 1).
+    pub attempts: u32,
+}
+
 /// A point the campaign gave up on, with why.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SkippedPoint {
@@ -88,6 +102,8 @@ pub struct CollectionReport {
     pub resumed: usize,
     /// Points abandoned after retries/budget (including journaled skips).
     pub skipped: Vec<SkippedPoint>,
+    /// Per-observation provenance, parallel to the collected database.
+    pub point_log: Vec<PointProvenance>,
     /// Retry attempts across all runs (training points and baselines).
     pub retries: usize,
     /// Runs killed by injected faults (data-corrupting connection losses).

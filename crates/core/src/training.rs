@@ -21,7 +21,7 @@ use crate::features::encode;
 use crate::journal::{self, CampaignId, JournalEntry, JournalWriter};
 use crate::objective::Objective;
 use crate::obs::Metrics;
-use crate::resilience::{Collection, CollectionReport, RetryPolicy, SkippedPoint};
+use crate::resilience::{Collection, CollectionReport, PointProvenance, RetryPolicy, SkippedPoint};
 use crate::space::{AppPoint, ParamId, SpacePoint, SystemConfig};
 use acic_cart::Dataset;
 use acic_cloudsim::error::CloudSimError;
@@ -245,8 +245,11 @@ impl Trainer {
         let writer = match opts.journal {
             None => None,
             Some(path) if path.exists() => {
-                restored = journal::load(path, &id)?.entries;
-                Some(JournalWriter::append_to(path)?)
+                let state = journal::load(path, &id)?;
+                restored = state.entries;
+                // Truncate any torn tail before appending: without this the
+                // first resumed entry would weld onto the fragment.
+                Some(JournalWriter::resume(path, state.valid_bytes)?)
             }
             Some(path) => Some(JournalWriter::create(path, &id)?),
         };
@@ -292,6 +295,10 @@ impl Trainer {
                     if !run.resumed {
                         report.completed += 1;
                     }
+                    report.point_log.push(PointProvenance {
+                        index: run.index,
+                        attempts: run.attempts,
+                    });
                     db.points.push(tp);
                 }
                 None => report.skipped.push(SkippedPoint {
@@ -537,8 +544,9 @@ impl PointRun {
 
     fn from_journal(entry: JournalEntry) -> Self {
         match entry {
-            JournalEntry::Ok { index, secs, cost, point } => Self {
+            JournalEntry::Ok { index, attempts, secs, cost, point } => Self {
                 tp: Some(point),
+                attempts,
                 secs,
                 cost,
                 resumed: true,
@@ -559,6 +567,7 @@ impl PointRun {
         match &self.tp {
             Some(point) => JournalEntry::Ok {
                 index: self.index,
+                attempts: self.attempts,
                 secs: self.secs,
                 cost: self.cost,
                 point: *point,
@@ -642,8 +651,8 @@ fn cost_fn(sys: &IoSystem) -> impl Fn(f64) -> f64 {
     move |secs: f64| CostModel::default().linear_cost(secs, instances, instance_type)
 }
 
-/// FNV-1a over a word stream (campaign fingerprinting).
-fn fnv1a(words: &[u64]) -> u64 {
+/// FNV-1a over a word stream (campaign fingerprinting, store sample keys).
+pub(crate) fn fnv1a(words: &[u64]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for w in words {
         for b in w.to_le_bytes() {
@@ -798,7 +807,7 @@ fn app_bits(app: &AppPoint) -> Vec<u64> {
 }
 
 /// Bit-exact key of a whole point.
-fn point_bits(p: &SpacePoint) -> Vec<u64> {
+pub(crate) fn point_bits(p: &SpacePoint) -> Vec<u64> {
     let mut k: Vec<u64> = encode(&p.system, &p.app).iter().map(|v| v.to_bits()).collect();
     k.extend(app_bits(&p.app));
     k

@@ -25,6 +25,12 @@ pub struct WalkOutcome {
     pub cost_usd: f64,
     /// The best observed metric along the walk (lower is better).
     pub best_metric: f64,
+    /// Candidates whose measurement errored or returned a non-finite
+    /// metric.  Such candidates can never be fixed as a dimension's "best"
+    /// — the walk keeps the incumbent value and moves on, so a dimension
+    /// whose every candidate fails degrades to a no-op instead of
+    /// poisoning the result or aborting the whole walk.
+    pub skipped: usize,
 }
 
 /// The system-side dimensions in walking order for the given ranking
@@ -54,13 +60,39 @@ pub fn guided_walk(
     objective: Objective,
     seed: u64,
 ) -> Result<WalkOutcome, AcicError> {
+    walk_with(ranking, app, objective, seed, &mut measure)
+}
+
+/// The walk engine with an injectable measurement function (tests use
+/// this to exercise failing candidates without a failable simulator).
+///
+/// Failure policy: the baseline (s0) measurement must succeed with a
+/// finite metric — there is nothing to anchor the walk otherwise, so it
+/// fails with a typed error.  Candidate failures (errors or non-finite
+/// metrics) only skip that candidate: the dimension keeps its incumbent
+/// value, `skipped` counts the loss, and the walk continues.  A
+/// non-finite metric can therefore never be fixed as a "best" value.
+pub fn walk_with(
+    ranking: &[ParamId],
+    app: &AppPoint,
+    objective: Objective,
+    seed: u64,
+    measure: &mut dyn FnMut(&SystemConfig, &AppPoint, Objective, u64) -> Result<(f64, f64), AcicError>,
+) -> Result<WalkOutcome, AcicError> {
     let app = app.normalized();
     let mut current = SystemConfig::baseline();
     let mut runs = 0usize;
     let mut cost = 0.0f64;
+    let mut skipped = 0usize;
 
     // Baseline measurement anchors the walk (s0).
     let (mut best_metric, c0) = measure(&current, &app, objective, seed)?;
+    if !best_metric.is_finite() {
+        return Err(AcicError::Invalid(format!(
+            "baseline measurement produced a non-finite {objective:?} metric ({best_metric}); \
+             the walk has no anchor"
+        )));
+    }
     runs += 1;
     cost += c0;
 
@@ -74,19 +106,29 @@ pub fn guided_walk(
             if candidate == current || !candidate.valid_for(app.nprocs) {
                 continue;
             }
-            let (metric, run_cost) =
-                measure(&candidate, &app, objective, seed.wrapping_add(runs as u64))?;
-            runs += 1;
-            cost += run_cost;
-            if metric < best_metric {
-                best_metric = metric;
-                best_here = candidate;
+            match measure(&candidate, &app, objective, seed.wrapping_add(runs as u64)) {
+                Ok((metric, run_cost)) if metric.is_finite() => {
+                    runs += 1;
+                    cost += run_cost;
+                    if metric < best_metric {
+                        best_metric = metric;
+                        best_here = candidate;
+                    }
+                }
+                Ok((_, run_cost)) => {
+                    // The run happened (and is paid for) but its metric is
+                    // unusable; it must not win the dimension.
+                    runs += 1;
+                    cost += run_cost;
+                    skipped += 1;
+                }
+                Err(_) => skipped += 1,
             }
         }
         current = best_here;
     }
 
-    Ok(WalkOutcome { config: current, runs, cost_usd: cost, best_metric })
+    Ok(WalkOutcome { config: current, runs, cost_usd: cost, best_metric, skipped })
 }
 
 /// One random-ordering walk (Figure 9's strawman): the same greedy
@@ -151,6 +193,73 @@ mod tests {
         // Not a hard guarantee, but over 6 seeds the orderings should not
         // all collapse to one answer in a space with real trade-offs.
         assert!(!distinct.is_empty());
+    }
+
+    #[test]
+    fn erroring_candidates_skip_instead_of_aborting_or_winning() {
+        // Pre-fix, guided_walk propagated any candidate measurement error
+        // with `?`, aborting the entire walk.  Now a dimension whose every
+        // candidate fails must degrade to a no-op: baseline config kept,
+        // baseline metric intact, failures counted.
+        let ranking = crate::training::Trainer::with_paper_ranking(0).ranking;
+        let a = app();
+        let baseline = SystemConfig::baseline();
+        let mut failures = 0usize;
+        let w = walk_with(&ranking, &a, Objective::Performance, 3, &mut |sys, app, obj, seed| {
+            if *sys == SystemConfig::baseline() {
+                measure(sys, app, obj, seed)
+            } else {
+                failures += 1;
+                Err(AcicError::Invalid("injected candidate failure".into()))
+            }
+        })
+        .unwrap();
+        assert_eq!(w.config, baseline, "no candidate may win via a failed measurement");
+        assert_eq!(w.runs, 1, "only the baseline ran");
+        assert!(w.skipped > 0 && w.skipped == failures);
+        assert!(w.best_metric.is_finite());
+    }
+
+    #[test]
+    fn nan_candidates_never_fix_a_bogus_best() {
+        // A NaN metric compares false against everything; pre-fix it was
+        // silently dropped without being counted, and an all-NaN dimension
+        // left no trace.  It must be counted as skipped and never win.
+        let ranking = crate::training::Trainer::with_paper_ranking(0).ranking;
+        let a = app();
+        let w = walk_with(&ranking, &a, Objective::Performance, 3, &mut |sys, app, obj, seed| {
+            if *sys == SystemConfig::baseline() {
+                measure(sys, app, obj, seed)
+            } else {
+                Ok((f64::NAN, 0.01))
+            }
+        })
+        .unwrap();
+        assert_eq!(w.config, SystemConfig::baseline());
+        assert!(w.best_metric.is_finite(), "NaN leaked into best_metric");
+        assert!(w.skipped > 0);
+        assert!(w.runs > 1, "NaN runs still happened and are paid for");
+    }
+
+    #[test]
+    fn non_finite_baseline_is_a_typed_error() {
+        let ranking = crate::training::Trainer::with_paper_ranking(0).ranking;
+        let a = app();
+        let err = walk_with(&ranking, &a, Objective::Performance, 3, &mut |_, _, _, _| {
+            Ok((f64::NAN, 0.0))
+        })
+        .unwrap_err();
+        match err {
+            AcicError::Invalid(msg) => assert!(msg.contains("anchor"), "{msg}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_walks_report_zero_skips() {
+        let ranking = crate::training::Trainer::with_paper_ranking(0).ranking;
+        let w = guided_walk(&ranking, &app(), Objective::Performance, 3).unwrap();
+        assert_eq!(w.skipped, 0);
     }
 
     #[test]

@@ -97,6 +97,29 @@ impl ResultCache {
         self.shard(&key).lock().insert((key, version), value, self.per_shard_capacity);
     }
 
+    /// Drop every entry computed under a snapshot version older than
+    /// `min_version`; returns how many entries were evicted.
+    ///
+    /// Versioned keys make stale generations *unreachable* the instant a
+    /// hot-swap publishes, but unreachable is not evicted: under sustained
+    /// republish churn with little new traffic, dead generations squatted
+    /// in the LRU until capacity pressure happened to push them out — the
+    /// cache's resident size tracked the number of publishes, not the
+    /// working set.  [`crate::Server`] calls this on every publish, keeping
+    /// the current and previous generations (in-flight batches may still
+    /// answer on the generation they loaded).
+    pub fn evict_older_than(&self, min_version: u64) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut s = s.lock();
+                let before = s.map.len();
+                s.map.retain(|(_, v), _| *v >= min_version);
+                before - s.map.len()
+            })
+            .sum()
+    }
+
     /// Entries currently cached (all shards, all versions).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().map.len()).sum()
@@ -196,6 +219,50 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(&k1, 1).unwrap()[0].1, 1.5);
         assert!(c.get(&k2, 1).is_some());
+    }
+
+    #[test]
+    fn evict_older_than_drops_only_stale_generations() {
+        let c = ResultCache::new(16, 2);
+        let (k1, k2) = (key(32, 1), key(64, 2));
+        c.insert(k1, 1, result(1.0));
+        c.insert(k2, 1, result(1.0));
+        c.insert(k1, 2, result(2.0));
+        c.insert(k1, 3, result(3.0));
+        assert_eq!(c.evict_older_than(2), 2, "both v1 entries go");
+        assert!(c.get(&k1, 1).is_none());
+        assert!(c.get(&k2, 1).is_none());
+        assert_eq!(c.get(&k1, 2).unwrap()[0].1, 2.0, "v2 survives");
+        assert_eq!(c.get(&k1, 3).unwrap()[0].1, 3.0);
+        assert_eq!(c.evict_older_than(2), 0, "idempotent once clean");
+    }
+
+    #[test]
+    fn memory_stays_bounded_across_a_hundred_republishes() {
+        // The stale-generation bug: a big cache under republish churn with
+        // a small working set accumulated one dead entry per (key, old
+        // version) because LRU pressure alone never arrived.  With the
+        // publish-time sweep (keep current + previous generation) the
+        // resident size is bounded by 2 generations × working set,
+        // regardless of how many versions have come and gone.
+        let working_set: Vec<CacheKey> = (0..4).map(|i| key(32 << i, 3)).collect();
+        let c = ResultCache::new(4096, 8);
+        for version in 1..=100u64 {
+            for k in &working_set {
+                c.insert(*k, version, result(version as f64));
+            }
+            // What Server::publish does on each hot-swap.
+            c.evict_older_than(version.saturating_sub(1));
+            assert!(
+                c.len() <= 2 * working_set.len(),
+                "version {version}: {} entries resident, stale generations leaked",
+                c.len()
+            );
+        }
+        // Current generation still answers after all that churn.
+        for k in &working_set {
+            assert_eq!(c.get(k, 100).unwrap()[0].1, 100.0);
+        }
     }
 
     #[test]

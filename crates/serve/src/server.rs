@@ -251,6 +251,11 @@ impl Server {
     pub fn publish(&self, predictor: Predictor, db_points: usize) -> u64 {
         let v = self.shared.store.publish(predictor, db_points);
         self.shared.metrics.incr("serve.snapshots_published", 1);
+        // Sweep cache entries from superseded generations now instead of
+        // waiting for LRU pressure; keep the previous generation because
+        // in-flight batches may still be answering on it.
+        let evicted = self.shared.cache.evict_older_than(v.saturating_sub(1));
+        self.shared.metrics.incr("serve.cache_stale_evicted", evicted as u64);
         v
     }
 

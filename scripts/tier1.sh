@@ -31,6 +31,52 @@ cmp target/tier1-serve-w1.txt target/tier1-serve-w2.txt
 grep -q "shed 0" target/tier1-serve-w1.txt
 rm -f target/tier1-train-db.txt target/tier1-serve-w1.txt target/tier1-serve-w2.txt
 
+# Store gate: the durable train → publish → serve lifecycle must survive a
+# mid-ingest kill and stay bit-deterministic end to end.
+ACIC=./target/release/acic
+STORE=target/tier1-store
+rm -rf "$STORE" target/tier1-snap*.txt target/tier1-store-serve*.txt
+# 1. Train into the store, journaled; then simulate a kill mid-ingest by
+#    chopping the WAL to two thirds (tearing its final line).
+$ACIC train --dims 3 --seed 7 --store "$STORE" --resume target/tier1-store.journal \
+  --out /dev/null
+WAL="$STORE/wal.log"
+head -c "$(( $(wc -c < "$WAL") * 2 / 3 ))" "$WAL" > "$WAL.cut" && mv "$WAL.cut" "$WAL"
+# 2. Re-train the same campaign (journal resume + store dedup absorb the
+#    repair), then a second campaign so the store holds both.
+$ACIC train --dims 3 --seed 7 --store "$STORE" --resume target/tier1-store.journal \
+  --out /dev/null
+$ACIC train --dims 4 --seed 31415 --store "$STORE" --compact --out /dev/null
+# 3. Publish; an immediate republish must be an incremental no-op, and a
+#    forced republish to a second file must be byte-identical.
+$ACIC publish --store "$STORE" --out target/tier1-snap.txt --seed 7
+$ACIC publish --store "$STORE" --out target/tier1-snap.txt --seed 7 2> target/tier1-publish2.log
+grep -q "up to date" target/tier1-publish2.log
+$ACIC publish --store "$STORE" --out target/tier1-snap2.txt --seed 7 --force
+cmp target/tier1-snap.txt target/tier1-snap2.txt
+# 4. Serving from the snapshot and from the store directly must agree, and
+#    a --watch serve over an unchanged snapshot must match too.
+$ACIC serve --snapshot target/tier1-snap.txt --replay scripts/serve_replay.txt \
+  --workers 2 > target/tier1-store-serve-snap.txt
+$ACIC serve --store "$STORE" --seed 7 --replay scripts/serve_replay.txt \
+  --workers 1 > target/tier1-store-serve-dir.txt
+cmp target/tier1-store-serve-snap.txt target/tier1-store-serve-dir.txt
+$ACIC serve --snapshot target/tier1-snap.txt --watch --replay scripts/serve_replay.txt \
+  --workers 2 > target/tier1-store-serve-watch.txt
+cmp target/tier1-store-serve-snap.txt target/tier1-store-serve-watch.txt
+# 5. The served top-k must match the direct predictor path byte for byte:
+#    `recommend --snapshot` prints the same notation the replay's first
+#    line (btio 64 perf 3) was answered with.
+$ACIC recommend --app btio --procs 64 --snapshot target/tier1-snap.txt --top 3 \
+  2>/dev/null | awk 'NR>1 {printf "%s ", $2} END {print ""}' > target/tier1-recommend.txt
+head -1 target/tier1-store-serve-snap.txt \
+  | sed 's/^1\. BTIO-64 perf top3: //; s/=[0-9.]*/ /g; s/  */ /g' \
+  > target/tier1-served.txt
+cmp target/tier1-recommend.txt target/tier1-served.txt
+rm -rf "$STORE" target/tier1-store.journal target/tier1-snap*.txt \
+  target/tier1-store-serve*.txt target/tier1-recommend.txt target/tier1-served.txt \
+  target/tier1-publish2.log
+
 # Serve benchmark artifact (BENCH_serve.json at the repo root); its own
 # asserts gate throughput scaling, shedding, and hot-swap correctness.
 cargo run --release --offline -p acic-bench --bin bench_serve

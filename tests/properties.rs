@@ -173,4 +173,52 @@ proptest! {
         prop_assert_eq!(&resumed.db, &truth.db);
         prop_assert_eq!(resumed.db.to_text(), truth.db.to_text());
     }
+
+    /// Append-after-truncate: a journal torn mid-record, resumed (which
+    /// truncates the torn tail and appends past it), then killed *again*
+    /// and resumed once more still converges to the uninterrupted
+    /// database — no record is silently duplicated or dropped by writing
+    /// over a previously torn region.
+    #[test]
+    fn journal_survives_kill_resume_kill_resume(
+        seed in 1u64..1000,
+        first_kill in 1u64..100,
+        second_kill in 1u64..100,
+    ) {
+        let trainer = Trainer::with_paper_ranking(seed)
+            .with_faults(FaultPlan::papers_observed_rate());
+        let points = trainer.sample_points(1);
+
+        let truth = trainer.collect_with(&points, &CollectOptions::default()).unwrap();
+
+        let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("prop-journal2-{seed}-{first_kill}-{second_kill}.journal"));
+        let _ = std::fs::remove_file(&path);
+        let opts = CollectOptions { journal: Some(&path), ..Default::default() };
+        trainer.collect_with(&points, &opts).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        let header_len = full.lines().take(2).map(|l| l.len() + 1).sum::<usize>();
+        let body = full.len() - header_len;
+
+        // First kill + resume: the resume truncates the torn tail and
+        // appends fresh records starting at the truncation point.
+        let cut = header_len + (body as u64 * first_kill / 100) as usize;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let opts = CollectOptions { journal: Some(&path), ..Default::default() };
+        trainer.collect_with(&points, &opts).unwrap();
+
+        // Second kill, possibly tearing a record written by the resume.
+        let after_resume = std::fs::read_to_string(&path).unwrap();
+        prop_assert_eq!(&after_resume, &full, "resumed journal must be byte-identical");
+        let cut = header_len + (body as u64 * second_kill / 100) as usize;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let opts = CollectOptions { journal: Some(&path), ..Default::default() };
+        let resumed = trainer.collect_with(&points, &opts).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        prop_assert!(resumed.report.is_complete());
+        prop_assert_eq!(&resumed.db, &truth.db);
+        prop_assert_eq!(resumed.db.to_text(), truth.db.to_text());
+    }
 }

@@ -1,0 +1,148 @@
+//! Integration properties of the durable training store: any ingest
+//! order, any split, any compaction interleaving, and any mid-ingest kill
+//! must converge to the same canonical sample set — bit-identical on disk
+//! — and the models trained from it must match the in-memory build.
+
+use acic_repro::acic::store::{canonicalize, hash_samples, samples_from_collection};
+use acic_repro::acic::training::CollectOptions;
+use acic_repro::acic::{Objective, Predictor, Store, StoreSample, Trainer};
+use acic_repro::cart::ModelKind;
+use acic_repro::cloudsim::instance::InstanceType;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Two real collection campaigns' worth of samples (distinct seeds, so
+/// distinct campaign fingerprints), gathered once and shared by every
+/// proptest case.
+fn corpus() -> &'static Vec<StoreSample> {
+    static CORPUS: OnceLock<Vec<StoreSample>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let mut all = Vec::new();
+        for seed in [7, 31415] {
+            let trainer = Trainer::with_paper_ranking(seed);
+            let points = trainer.sample_points(2);
+            let collection = trainer.collect_with(&points, &CollectOptions::default()).unwrap();
+            all.extend(
+                samples_from_collection(&trainer.campaign_id(&points), &collection).unwrap(),
+            );
+        }
+        all
+    })
+}
+
+/// The manifest bytes a clean single-shot run produces (ingest everything
+/// once, compact once).  Every scrambled run must land on exactly these.
+fn reference_manifest() -> &'static String {
+    static REF: OnceLock<String> = OnceLock::new();
+    REF.get_or_init(|| {
+        let dir = fresh_dir("reference");
+        let mut store = Store::open(&dir).unwrap();
+        store.ingest(corpus()).unwrap();
+        store.compact().unwrap();
+        std::fs::read_to_string(dir.join("MANIFEST")).unwrap()
+    })
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("store-{tag}-{n}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn store_db_trains_the_same_forest_as_the_in_memory_build() {
+    let dir = fresh_dir("forest");
+    let mut store = Store::open(&dir).unwrap();
+    store.ingest(corpus()).unwrap();
+    store.compact().unwrap();
+    let reopened = Store::open(&dir).unwrap();
+
+    let from_store = reopened.to_training_db();
+    let in_memory = acic_repro::acic::TrainingDb {
+        points: canonicalize(corpus().clone()).into_iter().map(|s| s.point).collect(),
+        collect_secs: 0.0,
+        collect_cost_usd: 0.0,
+    };
+    assert_eq!(from_store.points, in_memory.points, "canonical observations diverged");
+
+    let app = acic_repro::acic::space::SpacePoint::default_point().app;
+    for kind in [ModelKind::Cart, ModelKind::Forest { n_trees: 12 }] {
+        let a = Predictor::train_with(&from_store, 7, kind).unwrap();
+        let b = Predictor::train_with(&in_memory, 7, kind).unwrap();
+        for objective in [Objective::Performance, Objective::Cost] {
+            assert_eq!(
+                a.top_k(&app, objective, InstanceType::Cc2_8xlarge, 5),
+                b.top_k(&app, objective, InstanceType::Cc2_8xlarge, 5),
+                "{kind} {objective} predictions diverged between store and memory"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random-order ingest, arbitrary chunking, and arbitrary interleaved
+    /// compactions all converge: same canonical set, bit-identical
+    /// MANIFEST, and a reload sees exactly what was stored.
+    #[test]
+    fn any_ingest_order_and_compaction_schedule_is_bit_identical(
+        shuffle_seed in 1u64..1_000_000,
+        chunk in 1usize..8,
+        compact_between in prop::collection::vec(prop::bool::ANY, 8),
+    ) {
+        let samples = corpus();
+        let dir = fresh_dir("scramble");
+        let mut store = Store::open(&dir).unwrap();
+        let mut shuffled: Vec<StoreSample> = samples.clone();
+        acic_repro::cloudsim::rng::SplitMix64::new(shuffle_seed).shuffle(&mut shuffled);
+        for (i, part) in shuffled.chunks(chunk).enumerate() {
+            store.ingest(part).unwrap();
+            if compact_between[i % compact_between.len()] {
+                store.compact().unwrap();
+            }
+        }
+        store.compact().unwrap();
+
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST")).unwrap();
+        prop_assert_eq!(&manifest, reference_manifest(), "manifest bytes depend on ingest order");
+
+        let reopened = Store::open(&dir).unwrap();
+        prop_assert!(!reopened.open_report().repaired(), "clean store needed repairs");
+        prop_assert_eq!(reopened.canonical(), canonicalize(samples.clone()));
+        prop_assert_eq!(reopened.canonical_hash(), hash_samples(&canonicalize(samples.clone())));
+    }
+
+    /// Killing the process mid-ingest (torn or missing WAL tail) loses at
+    /// most unacknowledged lines; re-ingesting the same campaigns repairs
+    /// the store to the byte-identical canonical form.
+    #[test]
+    fn kill_mid_ingest_then_reingest_converges(cut_fraction in 1u64..100) {
+        let samples = corpus();
+        let dir = fresh_dir("kill");
+        let mut store = Store::open(&dir).unwrap();
+        store.ingest(samples).unwrap();
+        drop(store);
+
+        // Simulate the kill: chop the WAL at an arbitrary byte offset
+        // inside the entry region (the version header must survive — a
+        // store that lost its WAL header entirely is a different failure).
+        let wal = dir.join("wal.log");
+        let bytes = std::fs::read(&wal).unwrap();
+        let header_len = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let cut = header_len + ((bytes.len() - header_len) as u64 * cut_fraction / 100) as usize;
+        std::fs::write(&wal, &bytes[..cut]).unwrap();
+
+        let mut store = Store::open(&dir).unwrap();
+        prop_assert!(store.len() <= samples.len());
+        store.ingest(samples).unwrap();
+        store.compact().unwrap();
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST")).unwrap();
+        prop_assert_eq!(&manifest, reference_manifest(), "kill + re-ingest must converge");
+        prop_assert_eq!(Store::open(&dir).unwrap().canonical(), canonicalize(samples.clone()));
+    }
+}
