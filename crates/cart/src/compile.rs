@@ -1,0 +1,473 @@
+//! The compiled inference plane: trained models lowered into flat,
+//! allocation-free scoring kernels.
+//!
+//! Training wants rich structures (enum node arenas with owned rule sets,
+//! per-row `Vec`s); serving wants the opposite — the candidate-scoring hot
+//! path of the recommender walks the same small model tens of thousands of
+//! times per second, and every enum discriminant match, `Vec<u32>` subset
+//! probe, and per-row allocation shows up.  Following the flattened-tree
+//! layout production GBDT servers use, [`CompiledModel`] lowers a fitted
+//! [`Tree`]/[`Forest`]/[`Knn`] once (at train or publish time) into
+//! struct-of-arrays form:
+//!
+//! * **trees** — parallel arrays `feature`/`threshold`/`left`/`right` plus
+//!   per-node leaf payloads (`value`/`std`/`support`), renumbered
+//!   depth-first so a root-to-leaf walk touches mostly-adjacent cache
+//!   lines.  Leaves are folded into the same arrays by a sentinel child
+//!   index; categorical subset rules become a bitmask packed into the
+//!   `threshold` word, so routing is two loads and a compare either way.
+//! * **forests** — a `Vec` of compiled trees; batch scoring iterates trees
+//!   in the *outer* loop so each member's arena stays hot while it routes
+//!   the whole row block.
+//! * **k-NN** — the training rows flattened into one contiguous row-major
+//!   buffer, scanned with reusable scratch instead of per-query `Vec`s.
+//!
+//! Every lowering is **bit-identical** to its interpreted source: same
+//! routing comparisons, same accumulation orders, same tie handling
+//! (`tests/compile_equivalence.rs` holds the two planes against each other
+//! on randomized models and rows).  The interpreted path stays as the
+//! reference oracle.
+//!
+//! [`CompiledModel::predict_batch`] scores many encoded rows per call into
+//! a caller-owned output buffer; internal scratch (forest leaf indices,
+//! k-NN query normalization) lives in thread-local buffers, so steady-state
+//! batch scoring performs no heap allocation at all.
+
+use crate::dataset::FeatureKind;
+use crate::forest::Forest;
+use crate::knn::Knn;
+use crate::model::Model;
+use crate::split::SplitRule;
+use crate::tree::{Node, Prediction, Tree};
+use std::cell::RefCell;
+
+/// Child-index sentinel marking a leaf slot.
+const LEAF: u32 = u32::MAX;
+
+/// High bit of [`CompiledTree::feature`] marking a categorical (bitmask)
+/// rule; the low 15 bits are the feature column index.
+const CATEGORICAL_BIT: u16 = 0x8000;
+
+/// Rows scored per block in the batched kernels — small enough that a
+/// block's cursor state stays in registers/L1, large enough to amortize
+/// the per-block loop overhead.
+const BLOCK: usize = 64;
+
+thread_local! {
+    /// Forest batch scratch: per-(tree, row-in-block) leaf slots.
+    static FOREST_LEAVES: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+    /// k-NN scratch: normalized query + running k-best (distance, target).
+    static KNN_SCRATCH: RefCell<(Vec<f64>, Vec<(f64, f64)>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// One regression tree in flat struct-of-arrays form, laid out depth-first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTree {
+    /// Feature index tested at each node, with [`CATEGORICAL_BIT`] set for
+    /// subset rules; 0 for leaves.
+    feature: Vec<u16>,
+    /// Numeric threshold (`x <= t` routes left), or — for categorical
+    /// nodes — the subset bitmask transmuted into the same `f64` word.
+    threshold: Vec<f64>,
+    /// Left child per node; [`LEAF`] marks a leaf.
+    left: Vec<u32>,
+    /// Right child per node; [`LEAF`] marks a leaf.
+    right: Vec<u32>,
+    /// Node mean (the prediction at a leaf).
+    value: Vec<f64>,
+    /// Node target standard deviation.
+    std: Vec<f64>,
+    /// Training rows reaching the node.
+    support: Vec<u32>,
+}
+
+impl CompiledTree {
+    /// Lower `tree` into flat form, renumbering nodes depth-first from the
+    /// root (pruning can leave the arena in collapse order).
+    pub fn lower(tree: &Tree) -> Self {
+        let mut out = CompiledTree {
+            feature: Vec::with_capacity(tree.nodes.len()),
+            threshold: Vec::with_capacity(tree.nodes.len()),
+            left: Vec::with_capacity(tree.nodes.len()),
+            right: Vec::with_capacity(tree.nodes.len()),
+            value: Vec::with_capacity(tree.nodes.len()),
+            std: Vec::with_capacity(tree.nodes.len()),
+            support: Vec::with_capacity(tree.nodes.len()),
+        };
+        fn go(tree: &Tree, at: usize, out: &mut CompiledTree) -> u32 {
+            let slot = out.feature.len() as u32;
+            match &tree.nodes[at] {
+                Node::Leaf { value, std, n } => {
+                    out.feature.push(0);
+                    out.threshold.push(0.0);
+                    out.left.push(LEAF);
+                    out.right.push(LEAF);
+                    out.value.push(*value);
+                    out.std.push(*std);
+                    out.support.push(u32::try_from(*n).expect("leaf support fits u32"));
+                }
+                Node::Internal { feature, rule, value, std, n, left, right } => {
+                    let (tag, word) = match rule {
+                        SplitRule::Le(t) => (0u16, *t),
+                        SplitRule::In(set) => {
+                            let mut mask = 0u64;
+                            for &c in set {
+                                assert!(c < 64, "categorical code {c} exceeds the 64-bit mask");
+                                mask |= 1 << c;
+                            }
+                            (CATEGORICAL_BIT, f64::from_bits(mask))
+                        }
+                    };
+                    let feature = u16::try_from(*feature).expect("feature index fits u16");
+                    assert!(feature & CATEGORICAL_BIT == 0, "feature index collides with tag bit");
+                    out.feature.push(feature | tag);
+                    out.threshold.push(word);
+                    out.left.push(0); // patched below
+                    out.right.push(0);
+                    out.value.push(*value);
+                    out.std.push(*std);
+                    out.support.push(u32::try_from(*n).expect("node support fits u32"));
+                    let l = go(tree, *left, out);
+                    let r = go(tree, *right, out);
+                    out.left[slot as usize] = l;
+                    out.right[slot as usize] = r;
+                }
+            }
+            slot
+        }
+        go(tree, Tree::ROOT, &mut out);
+        out
+    }
+
+    /// Arena slot of the leaf `row` routes to.  The routing comparisons are
+    /// the interpreted [`SplitRule::goes_left`] verbatim: `x <= t` for
+    /// numeric rules; for subset rules `x as u32` (the same saturating cast)
+    /// probed against the mask.
+    #[inline]
+    fn leaf_of(&self, row: &[f64]) -> u32 {
+        let mut at = 0usize;
+        loop {
+            let l = self.left[at];
+            if l == LEAF {
+                return at as u32;
+            }
+            let tag = self.feature[at];
+            let x = row[(tag & !CATEGORICAL_BIT) as usize];
+            let goes_left = if tag & CATEGORICAL_BIT != 0 {
+                let code = x as u32;
+                code < 64 && (self.threshold[at].to_bits() >> code) & 1 == 1
+            } else {
+                x <= self.threshold[at]
+            };
+            at = if goes_left { l as usize } else { self.right[at] as usize };
+        }
+    }
+
+    /// Predict one encoded row — identical to [`Tree::predict`].
+    pub fn predict(&self, row: &[f64]) -> Prediction {
+        let at = self.leaf_of(row) as usize;
+        Prediction { value: self.value[at], std: self.std[at], support: self.support[at] as usize }
+    }
+}
+
+/// A fitted model lowered for batched, allocation-free scoring.
+#[derive(Debug, Clone)]
+pub enum CompiledModel {
+    /// Single pruned tree.
+    Tree {
+        /// Row width (feature count) the model scores.
+        width: usize,
+        /// The flattened tree.
+        tree: CompiledTree,
+    },
+    /// Bagged ensemble.
+    Forest {
+        /// Row width (feature count) the model scores.
+        width: usize,
+        /// The flattened member trees, in training order.
+        trees: Vec<CompiledTree>,
+    },
+    /// k-nearest-neighbours with flattened training rows.
+    Knn {
+        /// Neighbourhood size (already clamped to the training size).
+        k: usize,
+        /// Per-feature kinds (numeric features are z-normalized).
+        kinds: Vec<FeatureKind>,
+        /// Per-feature training means.
+        means: Vec<f64>,
+        /// Per-feature inverse standard deviations (0 for constant columns).
+        inv_stds: Vec<f64>,
+        /// Normalized training rows, row-major in one contiguous buffer.
+        rows: Vec<f64>,
+        /// Training targets aligned with `rows`.
+        targets: Vec<f64>,
+    },
+}
+
+impl CompiledModel {
+    /// Lower a fitted model.  Cheap (one pass over the model's nodes or
+    /// rows), so callers compile eagerly at train/publish time.
+    pub fn compile(model: &Model) -> Self {
+        match model {
+            Model::Tree(t) => Self::from_tree(t),
+            Model::Forest(f) => Self::from_forest(f),
+            Model::Knn(k) => Self::from_knn(k),
+        }
+    }
+
+    /// Lower a single tree.
+    pub fn from_tree(tree: &Tree) -> Self {
+        CompiledModel::Tree { width: tree.feature_names.len(), tree: CompiledTree::lower(tree) }
+    }
+
+    /// Lower a bagged forest.
+    pub fn from_forest(forest: &Forest) -> Self {
+        let width = forest.trees.first().map_or(0, |t| t.feature_names.len());
+        CompiledModel::Forest {
+            width,
+            trees: forest.trees.iter().map(CompiledTree::lower).collect(),
+        }
+    }
+
+    /// Lower a k-NN model (flattens the stored rows).
+    pub fn from_knn(knn: &Knn) -> Self {
+        let (k, kinds, means, inv_stds, rows, targets) = knn.parts();
+        CompiledModel::Knn {
+            k,
+            kinds: kinds.to_vec(),
+            means: means.to_vec(),
+            inv_stds: inv_stds.to_vec(),
+            rows: rows.iter().flat_map(|r| r.iter().copied()).collect(),
+            targets: targets.to_vec(),
+        }
+    }
+
+    /// The feature-row width the model was trained on.
+    pub fn width(&self) -> usize {
+        match self {
+            CompiledModel::Tree { width, .. } | CompiledModel::Forest { width, .. } => *width,
+            CompiledModel::Knn { kinds, .. } => kinds.len(),
+        }
+    }
+
+    /// Predict one encoded row — bit-identical to [`Model::predict`].
+    pub fn predict(&self, row: &[f64]) -> Prediction {
+        let mut out = [Prediction { value: 0.0, std: 0.0, support: 0 }];
+        self.predict_rows(row, &mut out);
+        out[0]
+    }
+
+    /// Score a batch of encoded rows (`rows.len()` must be a multiple of
+    /// [`Self::width`]) into `out`, which is cleared and filled with one
+    /// [`Prediction`] per row.  Bit-identical to calling
+    /// [`Model::predict`] per row; the batch form exists so the whole
+    /// candidate grid is scored in one pass over each model arena with no
+    /// per-candidate allocation.
+    pub fn predict_batch(&self, rows: &[f64], out: &mut Vec<Prediction>) {
+        let width = self.width();
+        assert!(width > 0 && rows.len() % width == 0, "batch is not whole rows");
+        let n = rows.len() / width;
+        out.clear();
+        out.resize(n, Prediction { value: 0.0, std: 0.0, support: 0 });
+        self.predict_rows(rows, out);
+    }
+
+    fn predict_rows(&self, rows: &[f64], out: &mut [Prediction]) {
+        let width = self.width();
+        match self {
+            CompiledModel::Tree { tree, .. } => {
+                for (row, slot) in rows.chunks_exact(width).zip(out.iter_mut()) {
+                    *slot = tree.predict(row);
+                }
+            }
+            CompiledModel::Forest { trees, .. } => FOREST_LEAVES.with(|scratch| {
+                let mut leaves = scratch.borrow_mut();
+                let t = trees.len();
+                // Blocked, tree-major: each member routes the whole block
+                // while its arena is hot; the reduction then replays the
+                // leaf values per row in training-tree order, so the mean
+                // and variance fold exactly as `Forest::predict` folds them.
+                for (block, slots) in
+                    rows.chunks(width * BLOCK).zip(out.chunks_mut(BLOCK))
+                {
+                    let b = block.len() / width;
+                    leaves.clear();
+                    leaves.resize(t * b, 0);
+                    for (ti, tree) in trees.iter().enumerate() {
+                        for (ri, row) in block.chunks_exact(width).enumerate() {
+                            leaves[ti * b + ri] = tree.leaf_of(row);
+                        }
+                    }
+                    for (ri, slot) in slots.iter_mut().enumerate() {
+                        let n = t as f64;
+                        let mut sum = 0.0;
+                        for ti in 0..t {
+                            sum += trees[ti].value[leaves[ti * b + ri] as usize];
+                        }
+                        let mean = sum / n;
+                        let mut var = 0.0;
+                        let mut support = 0usize;
+                        for ti in 0..t {
+                            let leaf = leaves[ti * b + ri] as usize;
+                            let d = trees[ti].value[leaf] - mean;
+                            var += d * d;
+                            support += trees[ti].support[leaf] as usize;
+                        }
+                        var /= n;
+                        *slot = Prediction { value: mean, std: var.sqrt(), support: support / t };
+                    }
+                }
+            }),
+            CompiledModel::Knn { k, kinds, means, inv_stds, rows: train, targets } => {
+                KNN_SCRATCH.with(|scratch| {
+                    let (q, best) = &mut *scratch.borrow_mut();
+                    for (row, slot) in rows.chunks_exact(width).zip(out.iter_mut()) {
+                        // Normalize the query in place of Knn::predict's
+                        // per-call Vec.
+                        q.clear();
+                        q.extend(row.iter().enumerate().map(|(j, &x)| match kinds[j] {
+                            FeatureKind::Numeric => (x - means[j]) * inv_stds[j],
+                            FeatureKind::Categorical { .. } => x,
+                        }));
+                        best.clear();
+                        for (r, &y) in train.chunks_exact(width).zip(targets) {
+                            let mut d2 = 0.0;
+                            for j in 0..width {
+                                match kinds[j] {
+                                    FeatureKind::Numeric => {
+                                        let d = q[j] - r[j];
+                                        d2 += d * d;
+                                    }
+                                    FeatureKind::Categorical { .. } => {
+                                        if q[j] != r[j] {
+                                            d2 += 1.0;
+                                        }
+                                    }
+                                }
+                            }
+                            let dist = d2.sqrt();
+                            let pos = best.partition_point(|(d, _)| *d <= dist);
+                            if pos < *k {
+                                best.insert(pos, (dist, y));
+                                best.truncate(*k);
+                            }
+                        }
+                        let n = best.len() as f64;
+                        let mean = best.iter().map(|(_, y)| y).sum::<f64>() / n;
+                        let var =
+                            best.iter().map(|(_, y)| (y - mean).powi(2)).sum::<f64>() / n;
+                        *slot =
+                            Prediction { value: mean, std: var.sqrt(), support: best.len() };
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_tree, BuildParams};
+    use crate::dataset::{Dataset, Feature};
+    use crate::forest::ForestParams;
+    use crate::model::ModelKind;
+    use acic_cloudsim::rng::SplitMix64;
+
+    fn mixed(n: usize, seed: u64) -> Dataset {
+        let mut d = Dataset::new(vec![
+            Feature::numeric("x"),
+            Feature::categorical("c", 3),
+            Feature::numeric("z"),
+        ]);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..n {
+            let x = rng.uniform(0.0, 20.0).round();
+            let c = (rng.below(3)) as f64;
+            let z = rng.uniform(-5.0, 5.0);
+            d.push(vec![x, c, z], x * 2.0 + c * 10.0 + z + rng.uniform(-0.5, 0.5));
+        }
+        d
+    }
+
+    fn assert_bit_identical(a: &Prediction, b: &Prediction) {
+        assert_eq!(a.value.to_bits(), b.value.to_bits(), "value differs: {a:?} vs {b:?}");
+        assert_eq!(a.std.to_bits(), b.std.to_bits(), "std differs: {a:?} vs {b:?}");
+        assert_eq!(a.support, b.support, "support differs: {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn compiled_kinds_match_interpreted_on_training_rows() {
+        let d = mixed(150, 7);
+        for kind in [ModelKind::Cart, ModelKind::Forest { n_trees: 9 }, ModelKind::Knn { k: 5 }] {
+            let m = Model::fit(&d, kind, 3);
+            let c = CompiledModel::compile(&m);
+            assert_eq!(c.width(), 3);
+            let mut flat = Vec::new();
+            let mut want = Vec::new();
+            for i in 0..d.len() {
+                let row = d.row(i);
+                assert_bit_identical(&c.predict(&row), &m.predict(&row));
+                flat.extend_from_slice(&row);
+                want.push(m.predict(&row));
+            }
+            let mut got = Vec::new();
+            c.predict_batch(&flat, &mut got);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_bit_identical(g, w);
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_compiles() {
+        let mut d = Dataset::new(vec![Feature::numeric("x")]);
+        for i in 0..10 {
+            d.push(vec![i as f64], 42.0);
+        }
+        let t = build_tree(&d, &BuildParams::default());
+        assert_eq!(t.leaf_count(), 1);
+        let c = CompiledModel::from_tree(&t);
+        assert_bit_identical(&c.predict(&[3.0]), &t.predict(&[3.0]));
+    }
+
+    #[test]
+    fn forest_block_boundaries_are_seamless() {
+        // More rows than one block, so the blocked loop takes both paths.
+        let d = mixed(300, 11);
+        let f = Forest::fit(&d, &ForestParams { n_trees: 7, ..Default::default() });
+        let c = CompiledModel::from_forest(&f);
+        let mut flat = Vec::new();
+        for i in 0..d.len() {
+            flat.extend_from_slice(&d.row(i));
+        }
+        let mut got = Vec::new();
+        c.predict_batch(&flat, &mut got);
+        for (i, g) in got.iter().enumerate() {
+            assert_bit_identical(g, &f.predict(&d.row(i)));
+        }
+    }
+
+    #[test]
+    fn categorical_routing_handles_out_of_range_codes() {
+        // Codes beyond the training arity and negative/NaN cells must route
+        // exactly as the interpreted `value as u32` cast routes them.
+        let d = mixed(80, 13);
+        let t = build_tree(&d, &BuildParams { min_split: 4, min_leaf: 2, ..Default::default() });
+        let c = CompiledModel::from_tree(&t);
+        for row in [[3.0, 7.0, 0.0], [3.0, -1.0, 0.0], [3.0, 2.9, 0.0], [f64::NAN, 0.0, 0.0]] {
+            assert_bit_identical(&c.predict(&row), &t.predict(&row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn ragged_batch_rejected() {
+        let d = mixed(40, 3);
+        let c = CompiledModel::compile(&Model::fit(&d, ModelKind::Cart, 1));
+        let mut out = Vec::new();
+        c.predict_batch(&[1.0, 2.0], &mut out);
+    }
+}

@@ -58,13 +58,34 @@ pub struct Dataset {
     /// Lazily computed per-feature sorted row orders (see
     /// [`Self::presorted`]); invalidated by [`Self::push`].
     presort: std::sync::OnceLock<Vec<Vec<u32>>>,
+    /// Lazily computed per-feature dense value ranks (see
+    /// [`Self::value_ranks`]); invalidated by [`Self::push`].
+    ranks: std::sync::OnceLock<Vec<RankColumn>>,
+}
+
+/// Dense value ranks of one numeric feature: `rank[i]` is the index of row
+/// `i`'s tie group when the column's distinct values are sorted ascending
+/// (`total_cmp` order, so ranks agree bit-for-bit with [`Dataset::presorted`]).
+/// Categorical columns carry an empty rank vector.
+#[derive(Debug, Clone, Default)]
+pub struct RankColumn {
+    /// Tie-group index per row (empty for categorical features).
+    pub rank: Vec<u32>,
+    /// Number of distinct tie groups.
+    pub groups: u32,
 }
 
 impl Dataset {
     /// Empty dataset over a schema.
     pub fn new(features: Vec<Feature>) -> Self {
         let columns = features.iter().map(|_| Vec::new()).collect();
-        Self { features, columns, targets: Vec::new(), presort: std::sync::OnceLock::new() }
+        Self {
+            features,
+            columns,
+            targets: Vec::new(),
+            presort: std::sync::OnceLock::new(),
+            ranks: std::sync::OnceLock::new(),
+        }
     }
 
     /// Append one observation.
@@ -87,8 +108,9 @@ impl Dataset {
             col.push(*cell);
         }
         self.targets.push(target);
-        // The cached sort orders describe the old row set.
+        // The cached sort orders and ranks describe the old row set.
         self.presort = std::sync::OnceLock::new();
+        self.ranks = std::sync::OnceLock::new();
     }
 
     /// Per-feature sorted row orders, computed once per dataset and shared
@@ -113,6 +135,44 @@ impl Dataset {
                         order
                     }
                     FeatureKind::Categorical { .. } => Vec::new(),
+                })
+                .collect()
+        })
+    }
+
+    /// Per-feature dense value ranks, computed once per dataset from
+    /// [`Self::presorted`]: for a numeric feature, `rank[i]` identifies row
+    /// `i`'s tie group in ascending value order (identical bit patterns —
+    /// the `total_cmp` tie classes — share a group).  A frame over an
+    /// arbitrary row view (bootstrap sample, CV fold) derives its sorted
+    /// order from these ranks with one counting pass instead of a
+    /// comparison sort: bucket the view's positions by rank, emit buckets
+    /// in rank order, positions ascending within a bucket — exactly the
+    /// (value, position) order a stable per-frame sort would produce.
+    pub fn value_ranks(&self) -> &[RankColumn] {
+        self.ranks.get_or_init(|| {
+            let orders = self.presorted();
+            self.features
+                .iter()
+                .enumerate()
+                .map(|(j, f)| match f.kind {
+                    FeatureKind::Numeric => {
+                        let col = &self.columns[j];
+                        let order = &orders[j];
+                        let mut rank = vec![0u32; col.len()];
+                        let mut groups = 0u32;
+                        let mut prev_bits = 0u64;
+                        for (k, &i) in order.iter().enumerate() {
+                            let bits = col[i as usize].to_bits();
+                            if k == 0 || bits != prev_bits {
+                                groups += 1;
+                                prev_bits = bits;
+                            }
+                            rank[i as usize] = groups - 1;
+                        }
+                        RankColumn { rank, groups }
+                    }
+                    FeatureKind::Categorical { .. } => RankColumn::default(),
                 })
                 .collect()
         })
@@ -199,6 +259,7 @@ impl Dataset {
                 .collect(),
             targets: idx.iter().map(|&i| self.targets[i]).collect(),
             presort: std::sync::OnceLock::new(),
+            ranks: std::sync::OnceLock::new(),
         }
     }
 }
@@ -265,6 +326,22 @@ mod tests {
     fn fractional_category_rejected() {
         let mut d = two_col();
         d.push(vec![1.0, 0.5], 1.0);
+    }
+
+    #[test]
+    fn value_ranks_follow_sorted_order_with_tie_groups() {
+        let mut d = two_col();
+        d.push(vec![3.0, 0.0], 1.0);
+        d.push(vec![1.0, 1.0], 2.0);
+        d.push(vec![3.0, 2.0], 3.0);
+        d.push(vec![2.0, 0.0], 4.0);
+        let ranks = d.value_ranks();
+        assert_eq!(ranks[0].rank, vec![2, 0, 2, 1], "ties share a group");
+        assert_eq!(ranks[0].groups, 3);
+        assert!(ranks[1].rank.is_empty(), "categorical columns have no ranks");
+        // Push invalidates the cache.
+        d.push(vec![0.5, 0.0], 5.0);
+        assert_eq!(d.value_ranks()[0].rank, vec![3, 1, 3, 2, 0]);
     }
 
     #[test]

@@ -53,6 +53,12 @@ impl Forest {
         let samples: Vec<Vec<usize>> = (0..params.n_trees)
             .map(|_| (0..n).map(|_| rng.below(n)).collect())
             .collect();
+        // Warm the shared per-dataset caches once, sequentially: every
+        // bootstrap frame derives its sorted orders from the dataset-level
+        // presort + value ranks, so the workers must not race to build
+        // them (they'd each pay the full O(N log N) sort).
+        data.presorted();
+        data.value_ranks();
         let trees = samples
             .par_iter()
             .map(|sample| build_tree_view(data, sample, &params.tree_params))

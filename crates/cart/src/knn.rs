@@ -72,6 +72,14 @@ impl Knn {
         Prediction { value: mean, std: var.sqrt(), support: best.len() }
     }
 
+    /// Internal views for [`crate::compile`]'s lowering: `(k, kinds,
+    /// means, inv_stds, normalized rows, targets)`.
+    pub(crate) fn parts(
+        &self,
+    ) -> (usize, &[FeatureKind], &[f64], &[f64], &[Vec<f64>], &[f64]) {
+        (self.k, &self.kinds, &self.means, &self.inv_stds, &self.rows, &self.targets)
+    }
+
     /// Mean squared error over a dataset.
     pub fn mse(&self, data: &Dataset) -> f64 {
         if data.is_empty() {

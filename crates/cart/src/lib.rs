@@ -31,6 +31,10 @@
 //! * [`tree`] — the tree itself, prediction (with per-leaf mean and
 //!   standard deviation, as ACIC's Figure 4 displays), and traversal;
 //! * [`render`] — the Figure 4-style text rendering;
+//! * [`compile`] — the serving-side lowering: fitted models flatten into
+//!   struct-of-arrays [`compile::CompiledModel`]s with a batched,
+//!   allocation-free `predict_batch`, bit-identical to the interpreted
+//!   predictors (which remain the reference oracle);
 //! * [`forest`] — a bagged ensemble of CART trees (bootstrap samples drawn
 //!   sequentially up front, trees fitted in parallel, so results are
 //!   deterministic per seed) and [`knn`] — a k-nearest-neighbours
@@ -39,6 +43,7 @@
 //!   easily plugged in").
 
 pub mod builder;
+pub mod compile;
 pub mod dataset;
 pub mod forest;
 pub mod knn;
@@ -49,7 +54,8 @@ pub mod render;
 pub mod split;
 pub mod tree;
 
-pub use builder::{build_tree, build_tree_view, BuildParams};
+pub use builder::{build_tree, build_tree_view, build_tree_view_resorted, BuildParams};
+pub use compile::{CompiledModel, CompiledTree};
 pub use presort::{best_split_presorted, TreeFrame};
 pub use dataset::{Dataset, Feature, FeatureKind};
 pub use forest::{Forest, ForestParams};

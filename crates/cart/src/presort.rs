@@ -40,7 +40,10 @@
 //!   preserved by stable partition);
 //! * numeric scans run in presorted order, whose tie order equals the
 //!   reference's per-node stable sort (positions ascend within a node, and
-//!   stable partition keeps them ascending);
+//!   stable partition keeps them ascending) — and the fused sweep folds
+//!   totals and prefix sums in **one** chain, snapshotting the running
+//!   accumulators at cut boundaries (a snapshot cannot change the bits of
+//!   a fold);
 //! * the carried payload arrays hold the very same `f64` values the
 //!   reference would gather through its index vectors — relocating them
 //!   changes which cache line a value lives in, never the value or the
@@ -89,13 +92,40 @@ pub struct TreeFrame {
     tally_sq: Vec<Vec<f64>>,
     /// Scratch for the mean-ordered category scan.
     cat_order: Vec<usize>,
+    /// Scratch for the fused numeric sweep: `(k, running_sum, running_sq)`
+    /// snapshots at legal cut boundaries, reused across nodes and features.
+    sweep_bounds: Vec<(u32, f64, f64)>,
+    /// Use the pre-fix two-pass numeric sweep instead of the fused one —
+    /// set by [`Self::new_resorted`] so baseline frames grow on the exact
+    /// engine the fix replaced (bit-identical output either way).
+    legacy_sweep: bool,
 }
 
 impl TreeFrame {
     /// Build a frame over `rows` of `data` (frame position `p` trains on
     /// dataset row `rows[p]`; duplicates are fine — a bootstrap sample is
     /// exactly that).
+    ///
+    /// Non-identity views derive their per-feature sorted orders from the
+    /// dataset's cached value ranks ([`Dataset::value_ranks`]) with one
+    /// O(m + groups) counting pass per feature instead of a comparison
+    /// sort — the fix for bagging, where every bootstrap tree used to
+    /// re-sort every column.  The derived order is (value, position)
+    /// ascending, bit-identical to the stable per-frame sort the reference
+    /// engine performs (see [`Self::new_resorted`]).
     pub fn new(data: &Dataset, rows: &[usize]) -> Self {
+        Self::new_with(data, rows, true)
+    }
+
+    /// [`Self::new`] with per-frame comparison sorts instead of rank-derived
+    /// orders, and the two-pass numeric sweep instead of the fused one —
+    /// the pre-fix engine end to end, kept as the reference baseline the
+    /// equivalence suite and `bench_cart` hold the fast path against.
+    pub fn new_resorted(data: &Dataset, rows: &[usize]) -> Self {
+        Self::new_with(data, rows, false)
+    }
+
+    fn new_with(data: &Dataset, rows: &[usize], derive: bool) -> Self {
         let m = rows.len();
         let kinds: Vec<FeatureKind> = data.features.iter().map(|f| f.kind).collect();
         let node_targets: Vec<f64> = {
@@ -114,12 +144,38 @@ impl TreeFrame {
         // train on every row.
         let identity = m == data.len() && rows.iter().enumerate().all(|(p, &i)| p == i);
         let cached = if identity { Some(data.presorted()) } else { None };
+        let ranks = if !identity && derive { Some(data.value_ranks()) } else { None };
         for (j, kind) in kinds.iter().enumerate() {
             let col = data.column(j);
             match kind {
                 FeatureKind::Numeric => {
                     let order: Vec<u32> = if let Some(cached) = cached {
                         cached[j].clone()
+                    } else if let Some(ranks) = ranks {
+                        // Counting pass over the dataset's dense value
+                        // ranks: bucket positions by rank, emit buckets in
+                        // rank order.  Scanning positions ascending keeps
+                        // ties in ascending position order — exactly the
+                        // stable sort's tie order, at O(m + groups) instead
+                        // of O(m log m).
+                        let rc = &ranks[j];
+                        let mut counts = vec![0u32; rc.groups as usize];
+                        for &i in rows {
+                            counts[rc.rank[i] as usize] += 1;
+                        }
+                        let mut start = 0u32;
+                        for c in counts.iter_mut() {
+                            let n = *c;
+                            *c = start;
+                            start += n;
+                        }
+                        let mut order = vec![0u32; m];
+                        for (p, &i) in rows.iter().enumerate() {
+                            let slot = &mut counts[rc.rank[i] as usize];
+                            order[*slot as usize] = p as u32;
+                            *slot += 1;
+                        }
+                        order
                     } else {
                         let gathered: Vec<f64> = rows.iter().map(|&i| col[i]).collect();
                         let mut order: Vec<u32> = (0..m as u32).collect();
@@ -177,6 +233,8 @@ impl TreeFrame {
             tally_sum,
             tally_sq,
             cat_order: Vec::new(),
+            sweep_bounds: Vec::new(),
+            legacy_sweep: !derive,
         }
     }
 
@@ -342,6 +400,8 @@ impl TreeFrame {
             tally_sum,
             tally_sq,
             cat_order,
+            sweep_bounds,
+            legacy_sweep,
             ..
         } = self;
         let mut best: Option<SplitCandidate> = None;
@@ -350,12 +410,20 @@ impl TreeFrame {
                 continue;
             }
             let cand = match kinds[j] {
+                FeatureKind::Numeric if *legacy_sweep => best_numeric_sweep_twopass(
+                    &sorted_vals[j][lo..hi],
+                    &sorted_targets[j][lo..hi],
+                    j,
+                    min_leaf,
+                    active,
+                ),
                 FeatureKind::Numeric => best_numeric_sweep(
                     &sorted_vals[j][lo..hi],
                     &sorted_targets[j][lo..hi],
                     j,
                     min_leaf,
                     active,
+                    sweep_bounds,
                 ),
                 FeatureKind::Categorical { .. } => scan_categorical_tally(
                     &tally_cnt[j],
@@ -395,9 +463,8 @@ impl TreeFrame {
     /// While routing, the row-order pass also folds each child's target
     /// sum (in child row order, so it is bit-identical to the sum the
     /// child's own [`Self::node_stats`] pass would fold) — the builder
-    /// feeds these to [`Self::node_stats_with_sum`], sparing every
-    /// non-root node one full target pass.  Returns
-    /// `(nl, left_sum, right_sum)`.
+    /// feeds these to the children's `grow` calls, sparing every non-root
+    /// node one full target pass.  Returns `(nl, left_sum, right_sum)`.
     pub fn partition(
         &mut self,
         lo: usize,
@@ -524,10 +591,102 @@ impl TreeFrame {
     }
 }
 
-/// Best threshold split on numeric feature `j`: a single prefix sweep of
+/// Best threshold split on numeric feature `j`: **one** prefix sweep of
 /// the maintained sorted order, streaming the node's value/target slices —
-/// no per-node sort, no gathers.
+/// no per-node sort, no gathers, no separate totals pass.
+///
+/// The key identity: the left-prefix sum at cut `k` *is* the running
+/// totals accumulator after `k + 1` additions.  So a single pass folds the
+/// node totals and, at each boundary between distinct values (the only
+/// legal cut points), snapshots `(k, running_sum, running_sq)` into
+/// `bounds`.  A second loop over those few boundaries evaluates the gains
+/// once the totals are complete.  Every quantity is the same fold, in the
+/// same order, as the reference's two-pass sweep
+/// ([`best_numeric_sweep_twopass`], kept as the pre-fix baseline): the
+/// snapshot of an accumulator mid-fold cannot change its bits.  What the
+/// fusion removes is the totals pass — serial floating-point adds whose
+/// ~4-cycle latency chain, not memory, bounds the sweep — halving the
+/// chain length per feature per node.
 fn best_numeric_sweep(
+    xs: &[f64],
+    ys: &[f64],
+    j: usize,
+    min_leaf: usize,
+    active: &mut [bool],
+    bounds: &mut Vec<(u32, f64, f64)>,
+) -> Option<SplitCandidate> {
+    let n = xs.len();
+    if n < 2 * min_leaf {
+        return None;
+    }
+    // Sorted order makes feature exhaustion an O(1) check: a constant
+    // column admits no cut, so the reference's sweep would find none —
+    // returning early is bit-exact and skips the target pass.
+    if xs[0] == xs[n - 1] {
+        active[j] = false;
+        return None;
+    }
+
+    // Pass 1: fold the totals, snapshotting the running accumulators at
+    // every legal cut boundary.  `run_sum` after k + 1 additions is
+    // bit-identical to the reference's `lsum` at cut k (same values, same
+    // order), and after n additions to its `total_sum`.
+    bounds.clear();
+    let mut run_sum = 0.0;
+    let mut run_sq = 0.0;
+    for k in 0..n {
+        let y = ys[k];
+        run_sum += y;
+        run_sq += y * y;
+        if k + 1 < n && xs[k] != xs[k + 1] {
+            bounds.push((k as u32, run_sum, run_sq));
+        }
+    }
+    let (total_sum, total_sq) = (run_sum, run_sq);
+    let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+    // Pass 2: evaluate the gain at each boundary, in ascending-k order —
+    // the exact candidate sequence (and tie behavior) of the reference
+    // sweep, which skips non-boundary positions via its `x_here == x_next`
+    // check.
+    let mut best_gain = 0.0;
+    let mut best_t = f64::NAN;
+    let mut best_k = 0usize;
+    for &(k, lsum, lsq) in bounds.iter() {
+        let k = k as usize;
+        if (k + 1) < min_leaf || (n - k - 1) < min_leaf {
+            continue;
+        }
+        let nl = (k + 1) as f64;
+        let nr = (n - k - 1) as f64;
+        let rsum = total_sum - lsum;
+        let rsq = total_sq - lsq;
+        let sse = (lsq - lsum * lsum / nl) + (rsq - rsum * rsum / nr);
+        let gain = parent_sse - sse;
+        if gain > best_gain {
+            best_gain = gain;
+            best_t = 0.5 * (xs[k] + xs[k + 1]);
+            best_k = k + 1;
+        }
+    }
+    if best_t.is_nan() || best_gain <= 0.0 {
+        return None;
+    }
+    Some(SplitCandidate {
+        feature: j,
+        rule: SplitRule::Le(best_t),
+        gain: best_gain,
+        left_count: best_k,
+        right_count: n - best_k,
+    })
+}
+
+/// The pre-fix numeric sweep: a totals pass followed by a full prefix
+/// scan — two serial fold chains over the node where
+/// [`best_numeric_sweep`] runs one.  Kept (and used by
+/// [`TreeFrame::new_resorted`] frames) as the baseline engine `bench_cart`
+/// times the fused sweep against; bit-identical output.
+fn best_numeric_sweep_twopass(
     xs: &[f64],
     ys: &[f64],
     j: usize,
@@ -538,16 +697,11 @@ fn best_numeric_sweep(
     if n < 2 * min_leaf {
         return None;
     }
-    // Sorted order makes feature exhaustion an O(1) check: a constant
-    // column admits no cut, so the reference's sweep would find none —
-    // returning early is bit-exact and skips both target passes.
     if xs[0] == xs[n - 1] {
         active[j] = false;
         return None;
     }
 
-    // One streaming pass; each accumulator still sees the values in the
-    // reference's order, so the sums are bit-identical.
     let mut total_sum = 0.0;
     let mut total_sq = 0.0;
     for &y in ys {
@@ -767,6 +921,18 @@ mod tests {
         let sub = d.subset(&rows);
         let sub_idx: Vec<usize> = (0..rows.len()).collect();
         assert_eq!(best_split_presorted(&d, &rows, 2), best_split(&sub, &sub_idx, 2));
+    }
+
+    #[test]
+    fn derived_sample_order_matches_resorted_frame() {
+        let d = mixed();
+        // Bootstrap shape: shuffled, duplicated, tie-heavy (x repeats).
+        let rows: Vec<usize> = (0..40).map(|i| (i * 13 + 5) % 30).collect();
+        let derived = TreeFrame::new(&d, &rows);
+        let resorted = TreeFrame::new_resorted(&d, &rows);
+        assert_eq!(derived.sorted_pos, resorted.sorted_pos);
+        assert_eq!(derived.sorted_vals, resorted.sorted_vals);
+        assert_eq!(derived.sorted_targets, resorted.sorted_targets);
     }
 
     #[test]

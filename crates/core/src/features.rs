@@ -58,6 +58,11 @@ pub fn api_code(a: IoApi) -> f64 {
 
 /// Encode the system half (the first [`N_SYSTEM_FEATURES`] cells of a
 /// feature row) after normalization.
+///
+/// Hot-path note: the per-candidate system halves over the fixed candidate
+/// universe are pre-encoded and cached by
+/// [`crate::candidates::CandidateMatrix`]; batched ranking reads those
+/// cached rows instead of re-encoding per query.
 pub fn encode_system_half(system: &SystemConfig) -> [f64; N_SYSTEM_FEATURES] {
     let system = system.normalized();
     [

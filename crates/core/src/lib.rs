@@ -40,6 +40,7 @@
 //! publish` cuts [`store::PublishedSnapshot`]s for the serving layer.
 
 pub mod acic;
+pub mod candidates;
 pub mod error;
 pub mod features;
 pub mod journal;
@@ -57,6 +58,7 @@ pub mod verify;
 pub mod walk;
 
 pub use crate::acic::{Acic, Recommendation};
+pub use candidates::CandidateMatrix;
 pub use error::AcicError;
 pub use objective::Objective;
 pub use obs::Metrics;

@@ -1,24 +1,64 @@
 //! The CART-backed black-box predictor and top-k recommender (paper §4.2).
+//!
+//! Two scoring engines back the same API.  The **interpreted** engine
+//! walks the fitted [`Model`] enum per row — it is the reference oracle,
+//! preserved verbatim as [`Predictor::rank_candidates_interpreted`].  The
+//! **compiled** engine (the default) lowers both objectives' models into
+//! flat [`CompiledModel`] arenas at train time and scores the whole
+//! candidate grid per query in one `predict_batch` pass over pre-encoded
+//! rows from the cached [`CandidateMatrix`] — bit-identical results, no
+//! per-candidate allocation.  Setting `ACIC_ENGINE=interpreted` in the
+//! environment (read once per process) forces every query through the
+//! oracle, which is how tier-1 byte-diffs the two planes end to end.
 
+use crate::candidates::CandidateMatrix;
 use crate::error::AcicError;
 use crate::features::{encode, encode_app_half, encode_system_half, N_FEATURES, N_SYSTEM_FEATURES};
 use crate::objective::Objective;
 use crate::space::{AppPoint, SystemConfig};
 use crate::training::TrainingDb;
 use acic_cart::render::render_with;
-use acic_cart::{Model, ModelKind, Tree};
+use acic_cart::tree::Prediction;
+use acic_cart::{CompiledModel, Model, ModelKind, Tree};
 use acic_cloudsim::instance::InstanceType;
 use acic_cloudsim::units::mib;
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+/// Force the interpreted reference engine when `ACIC_ENGINE=interpreted`
+/// (checked once; the engines are bit-identical, so this only exists for
+/// differential testing and the tier-1 byte-diff gate).
+fn interpreted_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("ACIC_ENGINE").map(|v| v == "interpreted").unwrap_or(false)
+    })
+}
+
+thread_local! {
+    /// Batched-scoring scratch: (encoded rows, predictions, batch-row →
+    /// candidate index map).  Reused across queries on the same thread, so
+    /// steady-state scoring allocates only the returned `Vec`.
+    static SCORE_SCRATCH: RefCell<(Vec<f64>, Vec<Prediction>, Vec<u32>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
 
 /// A trained predictor: one regression model per objective, both
 /// predicting *improvement over the baseline configuration*.  The paper's
 /// model is the cross-validation-pruned CART tree ([`ModelKind::Cart`],
 /// the default); the bagged forest and k-NN alternatives plug in through
 /// [`Self::train_with`].
+///
+/// Both models are lowered into [`CompiledModel`] form at construction, so
+/// every clone of a trained predictor (including the one captured in a
+/// `serve::ModelSnapshot` at publish/hot-swap time) carries the compiled
+/// plane with it.
 #[derive(Debug, Clone)]
 pub struct Predictor {
     model_perf: Model,
     model_cost: Model,
+    compiled_perf: CompiledModel,
+    compiled_cost: CompiledModel,
 }
 
 impl Predictor {
@@ -35,7 +75,9 @@ impl Predictor {
         }
         let model_perf = Model::fit(&db.to_dataset(Objective::Performance), kind, seed);
         let model_cost = Model::fit(&db.to_dataset(Objective::Cost), kind, seed ^ 1);
-        Ok(Self { model_perf, model_cost })
+        let compiled_perf = CompiledModel::compile(&model_perf);
+        let compiled_cost = CompiledModel::compile(&model_cost);
+        Ok(Self { model_perf, model_cost, compiled_perf, compiled_cost })
     }
 
     /// The model backing an objective.
@@ -43,6 +85,14 @@ impl Predictor {
         match objective {
             Objective::Performance => &self.model_perf,
             Objective::Cost => &self.model_cost,
+        }
+    }
+
+    /// The compiled (flat, batched) form of an objective's model.
+    pub fn compiled(&self, objective: Objective) -> &CompiledModel {
+        match objective {
+            Objective::Performance => &self.compiled_perf,
+            Objective::Cost => &self.compiled_cost,
         }
     }
 
@@ -65,7 +115,10 @@ impl Predictor {
     /// Predicted improvement (baseline ÷ candidate; > 1 beats baseline) of
     /// running `app` on `system`.
     pub fn predict(&self, system: &SystemConfig, app: &AppPoint, objective: Objective) -> f64 {
-        self.model(objective).predict(&encode(system, app)).value
+        if interpreted_forced() {
+            return self.model(objective).predict(&encode(system, app)).value;
+        }
+        self.compiled(objective).predict(&encode(system, app)).value
     }
 
     /// Rank all candidate configurations for `app` by predicted
@@ -77,11 +130,40 @@ impl Predictor {
     /// model ... a full exploration of system configuration space is
     /// affordable here" (§4.2).
     ///
-    /// The batch shares one feature row across candidates: the app half is
-    /// encoded once, each candidate only rewrites the system cells, and the
-    /// tie-break notation is computed once per candidate rather than once
-    /// per comparison.
+    /// This is the compiled fast path: candidates, their encoded system
+    /// halves, notations, and the scale validity mask all come precomputed
+    /// from the [`CandidateMatrix`]; the app half is encoded once; the
+    /// whole grid is scored by one [`CompiledModel::predict_batch`] call
+    /// into thread-local scratch.  Result-identical (bit for bit) to
+    /// [`Self::rank_candidates_interpreted`].
     pub fn rank_candidates(
+        &self,
+        app: &AppPoint,
+        objective: Objective,
+        instance_type: InstanceType,
+    ) -> Vec<(SystemConfig, f64)> {
+        if interpreted_forced() {
+            return self.rank_candidates_interpreted(app, objective, instance_type);
+        }
+        let matrix = CandidateMatrix::of(instance_type);
+        self.score_deployable(app, objective, matrix, |preds, order| {
+            let mut idx: Vec<u32> = (0..order.len() as u32).collect();
+            idx.sort_unstable_by(|&a, &b| rank_cmp(matrix, preds, order, a, b));
+            idx.iter()
+                .map(|&i| {
+                    let c = matrix.configs()[order[i as usize] as usize];
+                    (c, preds[i as usize].value)
+                })
+                .collect()
+        })
+    }
+
+    /// The interpreted reference ranking — the pre-compilation
+    /// implementation, kept verbatim as the oracle the compiled plane is
+    /// differential-tested (and tier-1 byte-diffed) against.  Same results,
+    /// bit for bit; one model walk and one notation `String` per candidate
+    /// per call.
+    pub fn rank_candidates_interpreted(
         &self,
         app: &AppPoint,
         objective: Objective,
@@ -106,6 +188,20 @@ impl Predictor {
 
     /// The top-k recommendation list (paper: "ACIC can be configured to
     /// report the top k predicted optimized candidates").
+    ///
+    /// `k` is **clamped to at least 1**: a `k = 0` query answers with the
+    /// single best candidate rather than an empty list (the CLI, the serve
+    /// path via `acic_serve::answer_single_shot`, and the result-cache
+    /// identity `CacheKey::new` all share this clamp, so a `k = 0` request
+    /// is the same query as `k = 1` everywhere).  `k` larger than the
+    /// deployable candidate count returns the full ranking.
+    ///
+    /// On the compiled plane the list is produced by a bounded partial
+    /// select (`select_nth_unstable_by` on the scored indices, then a sort
+    /// of the k survivors) rather than a full sort — valid because the
+    /// ranking comparator is a total order (notation strings are unique),
+    /// so the k-prefix of the full sort and the selected k coincide
+    /// exactly, ties included.
     pub fn top_k(
         &self,
         app: &AppPoint,
@@ -113,9 +209,55 @@ impl Predictor {
         instance_type: InstanceType,
         k: usize,
     ) -> Vec<(SystemConfig, f64)> {
-        let mut r = self.rank_candidates(app, objective, instance_type);
-        r.truncate(k.max(1));
-        r
+        let k = k.max(1);
+        if interpreted_forced() {
+            let mut r = self.rank_candidates_interpreted(app, objective, instance_type);
+            r.truncate(k);
+            return r;
+        }
+        let matrix = CandidateMatrix::of(instance_type);
+        self.score_deployable(app, objective, matrix, |preds, order| {
+            let mut idx: Vec<u32> = (0..order.len() as u32).collect();
+            if k < idx.len() {
+                idx.select_nth_unstable_by(k - 1, |&a, &b| rank_cmp(matrix, preds, order, a, b));
+                idx.truncate(k);
+            }
+            idx.sort_unstable_by(|&a, &b| rank_cmp(matrix, preds, order, a, b));
+            idx.iter()
+                .map(|&i| {
+                    let c = matrix.configs()[order[i as usize] as usize];
+                    (c, preds[i as usize].value)
+                })
+                .collect()
+        })
+    }
+
+    /// Score every deployable candidate of `matrix` for `app` in one
+    /// batched pass and hand `(predictions, batch-row → candidate index)`
+    /// to `finish`.  All intermediate buffers are thread-local scratch.
+    fn score_deployable<R>(
+        &self,
+        app: &AppPoint,
+        objective: Objective,
+        matrix: &CandidateMatrix,
+        finish: impl FnOnce(&[Prediction], &[u32]) -> R,
+    ) -> R {
+        let mask = matrix.validity_mask(app.nprocs);
+        let app_half = encode_app_half(app);
+        SCORE_SCRATCH.with(|scratch| {
+            let (rows, preds, order) = &mut *scratch.borrow_mut();
+            rows.clear();
+            order.clear();
+            for (i, sys_row) in matrix.system_rows().iter().enumerate() {
+                if mask[i] {
+                    rows.extend_from_slice(sys_row);
+                    rows.extend_from_slice(&app_half);
+                    order.push(i as u32);
+                }
+            }
+            self.compiled(objective).predict_batch(rows, preds);
+            finish(preds, order)
+        })
     }
 
     /// Render the model tree in the paper's Figure 4 style, with feature
@@ -142,6 +284,25 @@ impl Predictor {
             }
         })
     }
+}
+
+/// The ranking order over batch rows `a`/`b`: predicted improvement
+/// descending, then cached notation ascending — the same `(value desc,
+/// notation asc)` order the interpreted sort uses.  Total (notations are
+/// unique per candidate), which is what lets `top_k` partial-select.
+fn rank_cmp(
+    matrix: &CandidateMatrix,
+    preds: &[Prediction],
+    order: &[u32],
+    a: u32,
+    b: u32,
+) -> std::cmp::Ordering {
+    preds[b as usize]
+        .value
+        .total_cmp(&preds[a as usize].value)
+        .then_with(|| {
+            matrix.notation(order[a as usize] as usize).cmp(matrix.notation(order[b as usize] as usize))
+        })
 }
 
 #[cfg(test)]
@@ -249,6 +410,69 @@ mod tests {
     fn tree_access_panics_for_knn() {
         let p = Predictor::train_with(&small_db(), 1, acic_cart::ModelKind::Knn { k: 3 }).unwrap();
         let _ = p.tree(Objective::Performance);
+    }
+
+    #[test]
+    fn compiled_ranking_matches_interpreted_oracle_everywhere() {
+        // The golden old-vs-new equivalence: for every (objective,
+        // instance_type) pair and every model kind, the compiled batched
+        // ranking must equal the interpreted reference bit for bit —
+        // same configs, same order, same predicted values.
+        let db = small_db();
+        let apps = {
+            let mut base = SpacePoint::default_point().app;
+            let mut small = base;
+            small.nprocs = 32; // exercises the validity mask
+            small.io_procs = 32;
+            base.data_size = mib(512.0);
+            base.collective = true;
+            vec![SpacePoint::default_point().app, small, base]
+        };
+        for kind in [
+            acic_cart::ModelKind::Cart,
+            acic_cart::ModelKind::Forest { n_trees: 7 },
+            acic_cart::ModelKind::Knn { k: 5 },
+        ] {
+            let p = Predictor::train_with(&db, 3, kind).unwrap();
+            for app in &apps {
+                for objective in [Objective::Performance, Objective::Cost] {
+                    for it in [InstanceType::Cc1_4xlarge, InstanceType::Cc2_8xlarge] {
+                        let fast = p.rank_candidates(app, objective, it);
+                        let oracle = p.rank_candidates_interpreted(app, objective, it);
+                        assert_eq!(fast.len(), oracle.len(), "{kind} {objective:?} {it:?}");
+                        for (f, o) in fast.iter().zip(&oracle) {
+                            assert_eq!(f.0, o.0, "{kind} {objective:?} {it:?}");
+                            assert_eq!(
+                                f.1.to_bits(),
+                                o.1.to_bits(),
+                                "{kind} {objective:?} {it:?} {}",
+                                f.0.notation()
+                            );
+                        }
+                        // Partial-select top_k is the k-prefix of the full
+                        // ranking for every k, ties included.
+                        for k in [0usize, 1, 3, oracle.len(), oracle.len() + 5] {
+                            let top = p.top_k(app, objective, it, k);
+                            let want = &oracle[..k.max(1).min(oracle.len())];
+                            assert_eq!(top, want, "k={k} {kind} {objective:?} {it:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_matches_interpreted_model() {
+        let p = Predictor::train(&small_db(), 1).unwrap();
+        let app = SpacePoint::default_point().app;
+        for c in SystemConfig::candidates(InstanceType::Cc2_8xlarge) {
+            for objective in [Objective::Performance, Objective::Cost] {
+                let fast = p.predict(&c, &app, objective);
+                let oracle = p.model(objective).predict(&encode(&c, &app)).value;
+                assert_eq!(fast.to_bits(), oracle.to_bits(), "{}", c.notation());
+            }
+        }
     }
 
     #[test]

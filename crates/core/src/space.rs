@@ -259,64 +259,22 @@ impl SystemConfig {
     /// All candidate configurations on a fixed instance type — the space
     /// the evaluation sweeps and the predictor ranks (device × placement ×
     /// {NFS, PVFS2×servers×stripe}; 28 candidates).
+    ///
+    /// Delegates to the cached [`crate::candidates::CandidateMatrix`] — the
+    /// single enumeration site — and clones out the list; hot-path callers
+    /// should use the matrix directly to skip the clone and get the
+    /// pre-encoded feature rows and validity masks too.
     pub fn candidates(instance_type: InstanceType) -> Vec<SystemConfig> {
-        let mut out = Vec::new();
-        for device in DeviceKind::TABLE1 {
-            for placement in Placement::ALL {
-                out.push(SystemConfig {
-                    device,
-                    fs: FsType::Nfs,
-                    instance_type,
-                    io_servers: 1,
-                    placement,
-                    stripe_size: 0.0,
-                });
-                for io_servers in [1usize, 2, 4] {
-                    for stripe_size in [kib(64.0), mib(4.0)] {
-                        out.push(SystemConfig {
-                            device,
-                            fs: FsType::Pvfs2,
-                            instance_type,
-                            io_servers,
-                            placement,
-                            stripe_size,
-                        });
-                    }
-                }
-            }
-        }
-        out
+        crate::candidates::CandidateMatrix::of(instance_type).configs().to_vec()
     }
 
     /// Extended candidate set including the SSD device option the paper
     /// mentions in §3.1 but leaves out of the Table 1 training space
     /// (supported here as the §8 "incrementally new I/O configurations"
-    /// extension; see the `ext_ssd_study` binary).
+    /// extension; see the `ext_ssd_study` binary).  Cached like
+    /// [`Self::candidates`].
     pub fn candidates_extended(instance_type: InstanceType) -> Vec<SystemConfig> {
-        let mut out = SystemConfig::candidates(instance_type);
-        for placement in Placement::ALL {
-            out.push(SystemConfig {
-                device: DeviceKind::Ssd,
-                fs: FsType::Nfs,
-                instance_type,
-                io_servers: 1,
-                placement,
-                stripe_size: 0.0,
-            });
-            for io_servers in [1usize, 2, 4] {
-                for stripe_size in [kib(64.0), mib(4.0)] {
-                    out.push(SystemConfig {
-                        device: DeviceKind::Ssd,
-                        fs: FsType::Pvfs2,
-                        instance_type,
-                        io_servers,
-                        placement,
-                        stripe_size,
-                    });
-                }
-            }
-        }
-        out
+        crate::candidates::CandidateMatrix::of_extended(instance_type).configs().to_vec()
     }
 
     /// RAID-0 width convention: ephemeral servers stripe all local disks;

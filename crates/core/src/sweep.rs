@@ -2,6 +2,7 @@
 //! ACIC's recommendations against ("we exhaustively tested all candidate
 //! configurations, each indicated by a gray dot", paper §5.3).
 
+use crate::candidates::CandidateMatrix;
 use crate::error::AcicError;
 use crate::objective::Objective;
 use crate::space::SystemConfig;
@@ -69,15 +70,16 @@ pub struct Spectrum {
 impl Spectrum {
     /// Exhaustively measure `workload` on every valid candidate (in
     /// parallel; each candidate gets a deterministic derived seed).
+    ///
+    /// The candidate list and its deployability filter come from the
+    /// cached [`CandidateMatrix`] (enumeration and `valid_for` evaluated
+    /// once per process, not once per sweep).
     pub fn measure(
         workload: &Workload,
         instance_type: InstanceType,
         seed: u64,
     ) -> Result<Spectrum, AcicError> {
-        let candidates: Vec<SystemConfig> = SystemConfig::candidates(instance_type)
-            .into_iter()
-            .filter(|c| c.valid_for(workload.nprocs))
-            .collect();
+        let candidates = CandidateMatrix::of(instance_type).deployable(workload.nprocs);
         Self::measure_candidates(&candidates, workload, seed, &FsParams::default())
     }
 

@@ -98,6 +98,10 @@ pub fn walk_with(
 
     for dim in system_dims(ranking) {
         // Sample every value of this dimension with the rest held fixed.
+        // The walk constructs configurations dimension-wise rather than
+        // drawing from the enumerated grid, so it deliberately does not go
+        // through `CandidateMatrix` — its `valid_for` checks are on points
+        // the matrix's fixed universe need not contain.
         let mut best_here = current;
         for index in 0..dim.value_count() {
             let mut p = SpacePoint { system: current, app };

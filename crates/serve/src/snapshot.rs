@@ -19,6 +19,15 @@ use std::sync::Arc;
 /// One immutable, shareable generation of the recommender: the fitted
 /// predictor, the candidate instance type it ranks over, and the version
 /// id that namespaces everything derived from it.
+///
+/// Every snapshot serves on the **compiled inference plane**: `Predictor`
+/// lowers both objectives' models into flat `CompiledModel` arenas at
+/// train time, so the predictor captured here — at first construction and
+/// at every [`SnapshotStore::publish`] hot-swap — already carries them,
+/// and worker batches score the candidate grid with batched, allocation-
+/// free `predict_batch` passes.  The compiled plane is bit-identical to
+/// the interpreted models (`ACIC_ENGINE=interpreted` forces the reference
+/// path for differential replay).
 #[derive(Debug)]
 pub struct ModelSnapshot {
     version: u64,
@@ -140,6 +149,38 @@ mod tests {
         );
         assert_eq!(held.answer(&key), held.answer(&key), "pure function of (snapshot, key)");
         assert_eq!(store.load().version(), 2);
+    }
+
+    #[test]
+    fn published_snapshot_serves_compiled_plane_bit_identical_to_oracle() {
+        // The snapshot's answer (compiled plane) must equal the
+        // interpreted reference ranking truncated to k — at version 1 and
+        // after a hot-swap publish.
+        let (p1, n1) = predictor(5);
+        let store = SnapshotStore::new(p1, InstanceType::Cc2_8xlarge, n1);
+        let app = SpacePoint::default_point().app;
+        for round in 0..2 {
+            let snap = store.load();
+            for objective in Objective::ALL {
+                let key = CacheKey::new(&app, objective, InstanceType::Cc2_8xlarge, 4);
+                let got = snap.answer(&key);
+                let mut want = snap.predictor().rank_candidates_interpreted(
+                    &app,
+                    objective,
+                    InstanceType::Cc2_8xlarge,
+                );
+                want.truncate(4);
+                assert_eq!(got.len(), want.len(), "round {round} {objective:?}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.0, w.0, "round {round} {objective:?}");
+                    assert_eq!(g.1.to_bits(), w.1.to_bits(), "round {round} {objective:?}");
+                }
+            }
+            if round == 0 {
+                let (p2, n2) = predictor(6);
+                store.publish(p2, n2);
+            }
+        }
     }
 
     #[test]

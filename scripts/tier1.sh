@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build, full test suite, bench compile check, the CART engine
-# benchmark artifact (BENCH_cart.json at the repo root), a fault-injection
-# training sweep that must complete with zero skipped points, and the serve
-# smoke gate (replay determinism across worker counts plus BENCH_serve.json).
+# and compiled-inference benchmark artifacts (BENCH_cart.json and
+# BENCH_predict.json at the repo root), a fault-injection training sweep
+# that must complete with zero skipped points, and the serve smoke gate
+# (replay determinism across worker counts and across scoring engines, plus
+# BENCH_serve.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +12,12 @@ cargo build --release --offline
 cargo test -q --offline --workspace
 cargo bench --no-run --offline --workspace
 cargo run --release --offline -p acic-bench --bin bench_cart
+
+# Compiled-plane gate: the batched flat-arena scorer must hold its speedup
+# over the interpreted oracle (the binary asserts the >= 3x median pair
+# ratio itself) with zero prediction mismatches recorded in the artifact.
+cargo run --release --offline -p acic-bench --bin bench_predict
+grep -q '"mismatches": 0' BENCH_predict.json
 
 # Resilience gate: a training campaign under the paper's observed fault rate
 # (§5.6 observation 5) must retry every abort away.  `train` exits non-zero
@@ -29,7 +37,15 @@ cargo run --release --offline -p acic-cli --bin acic -- \
   --replay scripts/serve_replay.txt --swap-at 10 > target/tier1-serve-w2.txt
 cmp target/tier1-serve-w1.txt target/tier1-serve-w2.txt
 grep -q "shed 0" target/tier1-serve-w1.txt
-rm -f target/tier1-train-db.txt target/tier1-serve-w1.txt target/tier1-serve-w2.txt
+# Engine cross-check: the same replay forced through the interpreted
+# reference oracle (ACIC_ENGINE=interpreted) must produce byte-identical
+# output — the compiled plane serves exactly what the oracle would.
+ACIC_ENGINE=interpreted ./target/release/acic serve --db target/tier1-train-db.txt \
+  --workers 2 --replay scripts/serve_replay.txt --swap-at 10 \
+  > target/tier1-serve-oracle.txt
+cmp target/tier1-serve-w1.txt target/tier1-serve-oracle.txt
+rm -f target/tier1-train-db.txt target/tier1-serve-w1.txt target/tier1-serve-w2.txt \
+  target/tier1-serve-oracle.txt
 
 # Store gate: the durable train → publish → serve lifecycle must survive a
 # mid-ingest kill and stay bit-deterministic end to end.
