@@ -20,7 +20,9 @@ pub fn run(args: &Args) -> Result<(), String> {
         "allow-skips",
         "store",
         "compact",
+        "sim-engine",
     ])?;
+    crate::commands::apply_sim_engine(args)?;
     if args.flag("compact") && args.get("store").is_none() {
         return Err("--compact requires --store".into());
     }

@@ -7,7 +7,7 @@ use crate::device::DeviceKind;
 use crate::engine::Simulation;
 use crate::error::CloudSimError;
 use crate::instance::InstanceType;
-use crate::network::{route, NodeNet};
+use crate::network::NodeNet;
 use crate::raid::Raid0;
 use crate::resource::ResourceId;
 use crate::rng::SplitMix64;
@@ -153,6 +153,33 @@ impl ClusterSpec {
     }
 }
 
+/// Recycled vectors for [`Cluster`] construction; campaign loops keep one
+/// per worker and cycle it through build → run → [`ClusterPool::reclaim`]
+/// so cluster assembly allocates nothing in steady state.
+#[derive(Debug, Default)]
+pub struct ClusterPool {
+    nodes: Vec<Node>,
+    servers: Vec<usize>,
+    uplinks: Vec<(ResourceId, ResourceId)>,
+}
+
+impl ClusterPool {
+    /// An empty pool (the first build warms it).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a finished cluster's vectors back into the pool.
+    pub fn reclaim(&mut self, cluster: Cluster) {
+        self.nodes = cluster.nodes;
+        self.nodes.clear();
+        self.servers = cluster.io_server_nodes;
+        self.servers.clear();
+        self.uplinks = cluster.rack_uplinks;
+        self.uplinks.clear();
+    }
+}
+
 /// A built cluster: nodes materialized as simulator resources.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -188,6 +215,19 @@ impl Cluster {
         sim: &mut Simulation,
         rng: &mut SplitMix64,
     ) -> Result<Self, CloudSimError> {
+        let mut pool = ClusterPool::new();
+        Self::build_with_fabric_pooled(spec, fabric, sim, rng, &mut pool)
+    }
+
+    /// Like [`Self::build_with_fabric`], but recycling the vectors held in
+    /// `pool` so repeated builds allocate nothing in steady state.
+    pub fn build_with_fabric_pooled(
+        spec: ClusterSpec,
+        fabric: crate::network::FabricSpec,
+        sim: &mut Simulation,
+        rng: &mut SplitMix64,
+        pool: &mut ClusterPool,
+    ) -> Result<Self, CloudSimError> {
         spec.validate()?;
         let n_nodes = spec.compute_instances
             + match spec.placement {
@@ -195,25 +235,29 @@ impl Cluster {
                 Placement::PartTime => 0,
             };
 
-        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut nodes = std::mem::take(&mut pool.nodes);
+        nodes.clear();
+        nodes.reserve(n_nodes);
         for i in 0..n_nodes {
             let net = NodeNet::create(sim, i, spec.instance_type);
             nodes.push(Node { net, storage: None, role: NodeRole::Compute });
         }
 
-        let io_server_nodes: Vec<usize> = match spec.placement {
+        let mut io_server_nodes = std::mem::take(&mut pool.servers);
+        io_server_nodes.clear();
+        match spec.placement {
             // Dedicated servers are the trailing extra nodes.
-            Placement::Dedicated => (spec.compute_instances..n_nodes).collect(),
+            Placement::Dedicated => io_server_nodes.extend(spec.compute_instances..n_nodes),
             // Part-time servers co-locate with the first compute nodes —
             // which is also where collective-I/O aggregators live, giving
             // the locality effect of §5.6 observation 1.
-            Placement::PartTime => (0..spec.io_servers).collect(),
-        };
+            Placement::PartTime => io_server_nodes.extend(0..spec.io_servers),
+        }
 
         for (s, &ni) in io_server_nodes.iter().enumerate() {
             let prof = spec.storage.effective_profile(rng);
-            let write = sim.add_resource(format!("srv{s}.array.wr"), prof.seq_write_bps);
-            let read = sim.add_resource(format!("srv{s}.array.rd"), prof.seq_read_bps);
+            let write = sim.add_resource_fmt(format_args!("srv{s}.array.wr"), prof.seq_write_bps);
+            let read = sim.add_resource_fmt(format_args!("srv{s}.array.rd"), prof.seq_read_bps);
             let node = &mut nodes[ni];
             node.storage = Some(StorageAttachment {
                 write,
@@ -228,13 +272,14 @@ impl Cluster {
             };
         }
 
-        let mut rack_uplinks = Vec::new();
+        let mut rack_uplinks = std::mem::take(&mut pool.uplinks);
+        rack_uplinks.clear();
         if fabric.is_tiered() {
             let racks = n_nodes.div_ceil(fabric.rack_size);
             let cap = fabric.uplink_bps(spec.instance_type.nic_bps());
             for r in 0..racks {
-                let up = sim.add_resource(format!("rack{r}.uplink.up"), cap);
-                let down = sim.add_resource(format!("rack{r}.uplink.down"), cap);
+                let up = sim.add_resource_fmt(format_args!("rack{r}.uplink.up"), cap);
+                let down = sim.add_resource_fmt(format_args!("rack{r}.uplink.down"), cap);
                 rack_uplinks.push((up, down));
             }
         }
@@ -256,20 +301,24 @@ impl Cluster {
 
     /// Append the network path from node `from` to node `to` onto `out`.
     /// Inter-rack traffic additionally traverses both racks' uplinks.
+    /// Allocation-free: this runs once per flow in the campaign hot path.
     pub fn net_path(&self, from: usize, to: usize, out: &mut Vec<ResourceId>) {
-        // `route` borrows a slice of NodeNet; build on the fly.
-        let nets: Vec<NodeNet> = self.nodes.iter().map(|n| n.net).collect();
-        if from != to && self.fabric.is_tiered() {
+        if from == to {
+            out.push(self.nodes[from].net.bus);
+            return;
+        }
+        if self.fabric.is_tiered() {
             let (ra, rb) = (self.fabric.rack_of(from), self.fabric.rack_of(to));
             if ra != rb {
-                out.push(nets[from].tx);
+                out.push(self.nodes[from].net.tx);
                 out.push(self.rack_uplinks[ra].0);
                 out.push(self.rack_uplinks[rb].1);
-                out.push(nets[to].rx);
+                out.push(self.nodes[to].net.rx);
                 return;
             }
         }
-        route(&nets, from, to, out);
+        out.push(self.nodes[from].net.tx);
+        out.push(self.nodes[to].net.rx);
     }
 
     /// Append the storage path at server node `node` onto `out`.
@@ -489,6 +538,38 @@ mod tests {
         let c = Cluster::build(spec(Placement::Dedicated, 1), &mut sim, &mut rng).unwrap();
         assert_eq!(c.storage_latency(0), 0.0);
         assert!(c.storage_latency(c.node_of_server(0)) > 0.0);
+    }
+
+    #[test]
+    fn pooled_build_matches_fresh_build() {
+        let mut pool = ClusterPool::new();
+        let mut reference_paths: Option<Vec<Vec<ResourceId>>> = None;
+        for _ in 0..3 {
+            let mut sim = Simulation::new();
+            let mut rng = SplitMix64::new(7);
+            let c = Cluster::build_with_fabric_pooled(
+                spec(Placement::Dedicated, 2),
+                crate::network::FabricSpec::oversubscribed(2, 4.0),
+                &mut sim,
+                &mut rng,
+                &mut pool,
+            )
+            .unwrap();
+            let mut paths = Vec::new();
+            for (from, to) in [(0, 0), (0, 1), (0, 5), (3, 4)] {
+                let mut p = Vec::new();
+                c.net_path(from, to, &mut p);
+                paths.push(p);
+            }
+            let mut st = Vec::new();
+            c.storage_path(c.node_of_server(0), true, &mut st);
+            paths.push(st);
+            match &reference_paths {
+                None => reference_paths = Some(paths),
+                Some(r) => assert_eq!(r, &paths, "pooled rebuild changed the topology"),
+            }
+            pool.reclaim(c);
+        }
     }
 
     #[test]

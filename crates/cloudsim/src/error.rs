@@ -11,6 +11,9 @@ pub enum CloudSimError {
     UnknownResource { resource: usize },
     /// A flow traverses no resources, so its rate would be unbounded.
     PathlessFlow { flow: usize },
+    /// A flow was declared with a non-finite or negative release time or
+    /// latency; such a flow would poison the event queue ordering.
+    InvalidFlowTiming { flow: usize, release: f64, latency: f64 },
     /// A resource was declared with a non-positive capacity.
     InvalidCapacity { name: String, capacity: f64 },
     /// The engine detected active flows that can make no progress.
@@ -34,6 +37,13 @@ impl fmt::Display for CloudSimError {
             }
             CloudSimError::PathlessFlow { flow } => {
                 write!(f, "flow {flow} traverses no resources")
+            }
+            CloudSimError::InvalidFlowTiming { flow, release, latency } => {
+                write!(
+                    f,
+                    "flow {flow} has invalid timing (release {release}, latency {latency}); \
+                     both must be finite and non-negative"
+                )
             }
             CloudSimError::InvalidCapacity { name, capacity } => {
                 write!(f, "resource {name:?} has invalid capacity {capacity}")
@@ -64,5 +74,8 @@ mod tests {
         assert!(e.to_string().contains("2"));
         let e = CloudSimError::InvalidCluster("no nodes".into());
         assert!(e.to_string().contains("no nodes"));
+        let e = CloudSimError::InvalidFlowTiming { flow: 4, release: f64::NAN, latency: -1.0 };
+        assert!(e.to_string().contains("flow 4"));
+        assert!(e.to_string().contains("-1"));
     }
 }

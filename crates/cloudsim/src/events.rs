@@ -1,0 +1,293 @@
+//! The event-driven simulator core: a binary-heap activation queue over
+//! *groups* of identical flows, with class-level fair sharing.
+//!
+//! The reference engine walks every flow on every rate epoch, which makes a
+//! campaign point cost O(F · levels · R).  Training workloads are massively
+//! redundant, though: every I/O process on a node issues the same transfer
+//! at the same time over the same path.  This core exploits that in two
+//! layers:
+//!
+//! 1. **Groups** — flows with bit-equal activation time, bit-equal byte
+//!    count, and the same resource path are collapsed into one group that
+//!    advances in lockstep (they receive identical rates under max-min
+//!    sharing, so their remaining bytes stay bit-equal forever).
+//! 2. **Classes** — groups that share a path (but differ in size or start
+//!    time) are deduplicated into one weighted entry for the progressive
+//!    filling pass, so the rate computation costs O(C · P + levels · R)
+//!    instead of O(F · levels).
+//!
+//! Pending activations live in a binary heap keyed by activation time, so
+//! each event pays O(log G) for queue maintenance and O(G) to advance the
+//! active set — independent of the raw flow count F.  The trajectory
+//! (epoch times, activations, completions, finish times, makespan) is
+//! bit-identical to the reference engine; only per-resource served-byte
+//! totals are re-associated (one `moved * members` add per group instead
+//! of `members` separate adds), which is why those are gated at ≤1e-9
+//! relative instead of bit equality.  See DESIGN.md §14.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::arena::SimArena;
+use crate::engine::{RunStats, Simulation};
+use crate::error::CloudSimError;
+use crate::sharing::{fill_class_rates, ClassState, EPS};
+
+/// A maximal run of identical flows (same activation bits, byte bits, and
+/// path) that the engine advances as one unit.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Group {
+    /// Offset of the member flow indices inside `SimArena::order`.
+    pub(crate) start: usize,
+    /// Number of member flows.
+    pub(crate) len: usize,
+    /// Shared activation time (release + latency).
+    pub(crate) activation: f64,
+    /// Remaining bytes of *each* member (they stay bit-equal in lockstep).
+    pub(crate) remaining: f64,
+    /// Index of the path class this group belongs to.
+    pub(crate) class: usize,
+}
+
+/// Heap entry: a group waiting for its activation time.  Ordered so that
+/// `BinaryHeap` pops the earliest activation first, with the group index as
+/// a deterministic tie-break.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Activation {
+    pub(crate) time: f64,
+    pub(crate) group: usize,
+}
+
+impl PartialEq for Activation {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Activation {}
+
+impl PartialOrd for Activation {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Activation {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the minimum time.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.group.cmp(&self.group))
+    }
+}
+
+/// Run `sim` on the event-driven core, writing finish times and served
+/// bytes into `arena`.  Flows must already be validated.
+pub(crate) fn run_event(sim: &Simulation, arena: &mut SimArena) -> Result<RunStats, CloudSimError> {
+    let resources = &sim.resources;
+    let flows = &sim.flows;
+    let n = flows.len();
+    let nr = resources.len();
+
+    let SimArena {
+        finish,
+        served,
+        order,
+        groups,
+        classes,
+        class_order,
+        active_groups,
+        active_classes,
+        heap,
+        unfrozen_count,
+        res_remaining,
+        ..
+    } = arena;
+
+    finish.clear();
+    finish.resize(n, f64::INFINITY);
+    served.clear();
+    served.resize(nr, 0.0);
+
+    if n == 0 {
+        return Ok(RunStats { makespan: 0.0, events: 0 });
+    }
+
+    unfrozen_count.clear();
+    unfrozen_count.resize(nr, 0);
+    res_remaining.clear();
+    res_remaining.resize(nr, 0.0);
+
+    // --- Collapse flows into groups --------------------------------------
+    // Sorting by (activation bits, byte bits, path) makes identical flows
+    // adjacent; `total_cmp` equality is bit equality for the floats, which
+    // is exactly the condition under which members stay in lockstep.
+    order.clear();
+    order.extend(0..n);
+    order.sort_by(|&a, &b| {
+        let fa = &flows[a];
+        let fb = &flows[b];
+        fa.activation_time()
+            .total_cmp(&fb.activation_time())
+            .then_with(|| fa.bytes.total_cmp(&fb.bytes))
+            .then_with(|| fa.path.cmp(&fb.path))
+    });
+
+    groups.clear();
+    let mut g_start = 0;
+    while g_start < n {
+        let rep = &flows[order[g_start]];
+        let mut g_end = g_start + 1;
+        while g_end < n {
+            let cand = &flows[order[g_end]];
+            let same = rep.activation_time().total_cmp(&cand.activation_time())
+                == Ordering::Equal
+                && rep.bytes.total_cmp(&cand.bytes) == Ordering::Equal
+                && rep.path == cand.path;
+            if !same {
+                break;
+            }
+            g_end += 1;
+        }
+        groups.push(Group {
+            start: g_start,
+            len: g_end - g_start,
+            activation: rep.activation_time(),
+            remaining: rep.bytes,
+            class: usize::MAX,
+        });
+        g_start = g_end;
+    }
+
+    // --- Deduplicate group paths into classes -----------------------------
+    class_order.clear();
+    class_order.extend(0..groups.len());
+    class_order.sort_by(|&a, &b| {
+        flows[order[groups[a].start]].path.cmp(&flows[order[groups[b].start]].path)
+    });
+    classes.clear();
+    let mut prev_rep: Option<usize> = None;
+    for &g in class_order.iter() {
+        let rep = order[groups[g].start];
+        let same = prev_rep.is_some_and(|p| flows[p].path == flows[rep].path);
+        if !same {
+            classes.push(ClassState { rep, weight: 0, frozen: false, rate: 0.0 });
+            prev_rep = Some(rep);
+        }
+        groups[g].class = classes.len() - 1;
+    }
+
+    // --- Event loop --------------------------------------------------------
+    heap.clear();
+    heap.extend(
+        groups
+            .iter()
+            .enumerate()
+            .map(|(g, grp)| Activation { time: grp.activation, group: g }),
+    );
+    let mut queue = BinaryHeap::from(std::mem::take(heap));
+
+    active_groups.clear();
+    active_classes.clear();
+    let mut t = 0.0f64;
+    let mut makespan = 0.0f64;
+    let mut events = 0u64;
+
+    loop {
+        // Activate every pending group whose activation time has come.
+        while let Some(&a) = queue.peek() {
+            if a.time <= t + EPS {
+                queue.pop();
+                active_groups.push(a.group);
+            } else {
+                break;
+            }
+        }
+
+        if active_groups.is_empty() {
+            match queue.peek() {
+                Some(a) => {
+                    // Idle gap: jump to the next activation.
+                    t = a.time;
+                    continue;
+                }
+                None => break, // all done
+            }
+        }
+
+        events += 1;
+
+        // Accumulate live member counts into the path classes.
+        for &g in active_groups.iter() {
+            let c = groups[g].class;
+            if classes[c].weight == 0 {
+                active_classes.push(c);
+            }
+            classes[c].weight += groups[g].len;
+        }
+
+        fill_class_rates(resources, flows, classes, active_classes, unfrozen_count, res_remaining);
+
+        // Time to the next completion among active groups.
+        let mut dt_complete = f64::INFINITY;
+        for &g in active_groups.iter() {
+            let rate = classes[groups[g].class].rate;
+            if rate > 0.0 {
+                dt_complete = dt_complete.min(groups[g].remaining / rate);
+            }
+        }
+        // Time to the next activation.
+        let dt_activate = queue.peek().map(|a| a.time - t).unwrap_or(f64::INFINITY);
+
+        let dt = dt_complete.min(dt_activate);
+        if !dt.is_finite() {
+            let active: usize = active_groups.iter().map(|&g| groups[g].len).sum();
+            for &c in active_classes.iter() {
+                classes[c].weight = 0;
+            }
+            active_groups.clear();
+            active_classes.clear();
+            *heap = queue.into_vec();
+            return Err(CloudSimError::Stalled { time: t, active });
+        }
+        let dt = dt.max(0.0);
+
+        // Advance: drain bytes, accounting served volume once per group.
+        for &g in active_groups.iter() {
+            let grp = &mut groups[g];
+            let rate = classes[grp.class].rate;
+            let moved = rate * dt;
+            grp.remaining -= moved;
+            let members = grp.len as f64;
+            for r in &flows[classes[grp.class].rep].path {
+                served[r.0] += moved * members;
+            }
+        }
+        t += dt;
+
+        // Reset class weights for the next epoch's accumulation.
+        for &c in active_classes.iter() {
+            classes[c].weight = 0;
+        }
+        active_classes.clear();
+
+        // Retire completed groups; all members finish together.
+        active_groups.retain(|&g| {
+            let grp = &groups[g];
+            if grp.remaining <= EPS * flows[order[grp.start]].bytes.max(1.0) {
+                for &fi in &order[grp.start..grp.start + grp.len] {
+                    finish[fi] = t;
+                }
+                makespan = makespan.max(t);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    // Hand the heap's backing storage back to the arena for the next run.
+    *heap = queue.into_vec();
+    Ok(RunStats { makespan, events })
+}

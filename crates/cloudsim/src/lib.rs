@@ -22,7 +22,12 @@
 //! * **Flows** ([`flow`], [`engine`]): data transfers that traverse a path
 //!   of capacity-limited resources.  Concurrent flows share resources with
 //!   *max-min fairness* (progressive filling), and the engine advances time
-//!   from one flow completion/activation to the next.
+//!   from one flow completion/activation to the next.  Two cores implement
+//!   the model: the default event-driven core ([`events`], [`sharing`]) and
+//!   the reference per-flow oracle it is gated bit-identically against
+//!   (`ACIC_SIM=reference`); per-run state lives in a reusable
+//!   [`arena::SimArena`] so campaign sweeps allocate nothing in steady
+//!   state.
 //! * **Pricing** ([`pricing`]): the paper's equation (1)
 //!   (`cost = time × instances × unit price`), plus hourly-granularity
 //!   billing and EBS volume charges.
@@ -47,10 +52,12 @@
 //! assert!((report.finish_time(b).unwrap() - 10.0).abs() < 1e-9);
 //! ```
 
+pub mod arena;
 pub mod cluster;
 pub mod device;
 pub mod engine;
 pub mod error;
+pub mod events;
 pub mod flow;
 pub mod instance;
 pub mod network;
@@ -58,11 +65,13 @@ pub mod pricing;
 pub mod raid;
 pub mod resource;
 pub mod rng;
+pub mod sharing;
 pub mod units;
 
-pub use cluster::{Cluster, ClusterSpec, NodeRole, Placement};
+pub use arena::{ArenaStats, SimArena};
+pub use cluster::{Cluster, ClusterPool, ClusterSpec, NodeRole, Placement};
 pub use device::{DeviceKind, DeviceProfile};
-pub use engine::{RunReport, Simulation};
+pub use engine::{set_engine_override, RunReport, RunStats, SimEngine, Simulation};
 pub use error::CloudSimError;
 pub use flow::{FlowId, FlowSpec};
 pub use instance::InstanceType;

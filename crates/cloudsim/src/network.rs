@@ -24,11 +24,13 @@ pub struct NodeNet {
 }
 
 impl NodeNet {
-    /// Create the three per-node resources inside `sim`.
+    /// Create the three per-node resources inside `sim`.  Names are
+    /// formatted into recycled strings so pooled campaign builds stay
+    /// allocation-free.
     pub fn create(sim: &mut Simulation, node: usize, itype: InstanceType) -> Self {
-        let tx = sim.add_resource(format!("node{node}.nic.tx"), itype.nic_bps());
-        let rx = sim.add_resource(format!("node{node}.nic.rx"), itype.nic_bps());
-        let bus = sim.add_resource(format!("node{node}.bus"), itype.bus_bps());
+        let tx = sim.add_resource_fmt(format_args!("node{node}.nic.tx"), itype.nic_bps());
+        let rx = sim.add_resource_fmt(format_args!("node{node}.nic.rx"), itype.nic_bps());
+        let bus = sim.add_resource_fmt(format_args!("node{node}.bus"), itype.bus_bps());
         Self { tx, rx, bus }
     }
 }

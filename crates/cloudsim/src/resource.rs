@@ -32,25 +32,20 @@ pub struct Resource {
     pub name: String,
     /// Service capacity in bytes/second.
     pub capacity: f64,
-    /// Total bytes served so far (updated by the engine as time advances);
-    /// lets tests assert conservation: bytes served == bytes of finished
-    /// flows attributed to this resource.
-    pub(crate) served: f64,
 }
 
 impl Resource {
     /// Create a resource, validating the capacity.
+    ///
+    /// Served-byte accounting lives in [`crate::engine::RunReport`] (the
+    /// engine accumulates per-resource volume into run-scoped scratch so a
+    /// `Simulation` can be run repeatedly without mutating its resources).
     pub fn new(name: impl Into<String>, capacity: f64) -> Result<Self, CloudSimError> {
         let name = name.into();
         if !(capacity.is_finite() && capacity > 0.0) {
             return Err(CloudSimError::InvalidCapacity { name, capacity });
         }
-        Ok(Self { name, capacity, served: 0.0 })
-    }
-
-    /// Bytes this resource has served so far.
-    pub fn served(&self) -> f64 {
-        self.served
+        Ok(Self { name, capacity })
     }
 }
 
@@ -70,6 +65,5 @@ mod tests {
     fn accepts_positive_capacity() {
         let r = Resource::new("nic", 1.25e9).unwrap();
         assert_eq!(r.capacity, 1.25e9);
-        assert_eq!(r.served(), 0.0);
     }
 }

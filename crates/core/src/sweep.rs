@@ -8,8 +8,9 @@ use crate::objective::Objective;
 use crate::space::SystemConfig;
 use acic_cloudsim::instance::InstanceType;
 use acic_cloudsim::pricing::CostModel;
-use acic_fsim::{Executor, FsParams, Workload};
+use acic_fsim::{Executor, FsParams, SimScratch, Workload};
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Measured outcome of one candidate configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,14 +50,38 @@ pub fn run_workload_with(
     seed: u64,
     params: &FsParams,
 ) -> Result<SweepEntry, AcicError> {
+    SWEEP_SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => run_workload_in(config, workload, seed, params, &mut scratch),
+        Err(_) => run_workload_in(config, workload, seed, params, &mut SimScratch::new()),
+    })
+}
+
+thread_local! {
+    /// Per-thread simulator scratch for sweep entry points.  One warm
+    /// [`SimScratch`] serves every candidate a worker evaluates, so a
+    /// steady-state sweep performs no simulator allocation.
+    static SWEEP_SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+}
+
+/// Run `workload` on one configuration with caller-owned simulator scratch
+/// (the campaign loop threads one scratch through every point).
+pub fn run_workload_in(
+    config: &SystemConfig,
+    workload: &Workload,
+    seed: u64,
+    params: &FsParams,
+    scratch: &mut SimScratch,
+) -> Result<SweepEntry, AcicError> {
     let system = config.to_io_system(workload.nprocs);
-    let outcome = Executor::new(system).with_params(*params).run(workload, seed)?;
+    let outcome = Executor::new(system).with_params(*params).run_in(workload, seed, scratch)?;
     let cost = CostModel::default().linear_cost(
         outcome.total_secs,
         system.cluster.total_instances(),
         system.cluster.instance_type,
     );
-    Ok(SweepEntry { config: *config, secs: outcome.total_secs, cost })
+    let entry = SweepEntry { config: *config, secs: outcome.total_secs, cost };
+    scratch.recycle(outcome);
+    Ok(entry)
 }
 
 /// The full measured spectrum of one application run over every deployable
@@ -197,6 +222,19 @@ mod tests {
         let err =
             Spectrum::measure_candidates(&undeployable, &w, 1, &FsParams::default()).unwrap_err();
         assert!(matches!(err, AcicError::Invalid(_)));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let app = MadBench2::paper(64);
+        let w = app.workload();
+        let cfg = SystemConfig::baseline();
+        let fresh = run_workload_on(&cfg, &w, 9).unwrap();
+        let mut scratch = SimScratch::new();
+        for _ in 0..3 {
+            let e = run_workload_in(&cfg, &w, 9, &FsParams::default(), &mut scratch).unwrap();
+            assert_eq!(e, fresh, "warm scratch must not change the entry");
+        }
     }
 
     #[test]

@@ -254,6 +254,7 @@ impl Trainer {
             Some(path) => Some(JournalWriter::create(path, &id)?),
         };
 
+        let arena_before = acic_cloudsim::arena::stats();
         let root = SplitMix64::new(self.seed);
         let baseline_sys = SystemConfig::baseline();
         let baseline_cache: Mutex<BTreeMap<Vec<u64>, BaselineEntry>> = Mutex::new(BTreeMap::new());
@@ -346,6 +347,16 @@ impl Trainer {
             m.incr("train.db.points", db.len() as u64);
             m.observe_secs("train.sim_secs", db.collect_secs);
             m.observe_secs("train.backoff_secs", report.backoff_secs);
+            // Simulator arena health: runs executed during this campaign
+            // and how many of them missed the recycled pools.  A warm
+            // steady state shows a large run delta with a (near-)zero miss
+            // delta — the allocation-free campaign loop.
+            let arena_after = acic_cloudsim::arena::stats();
+            m.incr("sim.arena.runs", arena_after.runs.saturating_sub(arena_before.runs));
+            m.incr(
+                "sim.arena.pool_misses",
+                arena_after.pool_misses.saturating_sub(arena_before.pool_misses),
+            );
         }
 
         if opts.strict {

@@ -12,64 +12,59 @@ use crate::params::FsParams;
 use crate::phase::IoPhase;
 use acic_cloudsim::cluster::Cluster;
 use acic_cloudsim::engine::Simulation;
-use acic_cloudsim::flow::FlowSpec;
+use acic_cloudsim::resource::ResourceId;
 
-/// Result of applying the two-phase transform.
-#[derive(Debug)]
+/// Scalar outputs of the two-phase transform.  The per-aggregator byte
+/// counts are written into the caller's `fs_out` buffer instead so pooled
+/// campaign runs reuse one allocation across points.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct CollectivePlan {
-    /// Per aggregator node: `(node_index, bytes)` the node pushes to (or
-    /// pulls from) the file system.
-    pub fs_bytes_per_node: Vec<(usize, f64)>,
     /// Effective request size the file system sees (the collective buffer).
     pub fs_request_size: f64,
     /// Serial synchronization overhead of the collective rounds, seconds.
     pub sync_overhead: f64,
 }
 
-/// Add the shuffle flows for a collective phase to `sim` and return the
-/// transformed file-system side.
+/// Add the shuffle flows for a collective phase to `sim`, fill `fs_out`
+/// with the transformed per-aggregator `(node_index, bytes)` pairs, and
+/// return the scalar plan.
 ///
-/// `total_bytes` is the (inflation-adjusted) volume of the phase and
-/// `node_bytes` how much of it originates on (for writes) or is destined to
-/// (for reads) each compute node.  Data is assumed uniformly distributed
-/// over aggregators, so a fraction `(A-1)/A` of each node's bytes crosses
-/// the network; the rest moves over the local bus.
+/// `node_bytes` says how much of the phase's (inflation-adjusted) volume
+/// originates on (for writes) or is destined to (for reads) each compute
+/// node.  Data is assumed uniformly distributed over aggregators, so a
+/// fraction `(A-1)/A` of each node's bytes crosses the network; the rest
+/// moves over the local bus.  `path` is caller-owned routing scratch.
 pub(crate) fn plan_collective(
     sim: &mut Simulation,
     cluster: &Cluster,
     params: &FsParams,
     phase: &IoPhase,
     node_bytes: &[(usize, f64)],
+    fs_out: &mut Vec<(usize, f64)>,
+    path: &mut Vec<ResourceId>,
 ) -> CollectivePlan {
-    let aggregators: Vec<usize> = (0..cluster.spec.compute_instances).collect();
+    let aggregators = 0..cluster.spec.compute_instances;
     let a = aggregators.len() as f64;
     let total: f64 = node_bytes.iter().map(|&(_, b)| b).sum();
 
     // Shuffle: every source node exchanges with every aggregator.
-    let mut path = Vec::with_capacity(2);
     for &(src, bytes) in node_bytes {
         let per_agg = bytes / a;
         if per_agg <= 0.0 {
             continue;
         }
-        for &agg in &aggregators {
+        for agg in aggregators.clone() {
             path.clear();
-            cluster.net_path(src, agg, &mut path);
-            sim.add_flow(
-                FlowSpec::new(per_agg)
-                    .through_all(path.iter().copied())
-                    .labeled(format!("shuffle n{src}->a{agg}")),
-            );
+            cluster.net_path(src, agg, path);
+            let f = sim.push_flow(per_agg, path);
+            sim.label_flow(f, || format!("shuffle n{src}->a{agg}"));
         }
     }
 
     // Aggregators then move equal shares with collective-buffer requests.
     let per_agg = total / a;
-    let fs_bytes_per_node: Vec<(usize, f64)> = aggregators
-        .iter()
-        .map(|&n| (n, per_agg))
-        .filter(|&(_, b)| b > 0.0)
-        .collect();
+    fs_out.clear();
+    fs_out.extend(aggregators.map(|n| (n, per_agg)).filter(|&(_, b)| b > 0.0));
 
     // Each buffer exchange ends with a synchronization across all I/O
     // processes; rounds = buffers needed by the busiest aggregator.
@@ -78,7 +73,6 @@ pub(crate) fn plan_collective(
     let sync_overhead = rounds * log_p * params.collective_sync_cost;
 
     CollectivePlan {
-        fs_bytes_per_node,
         fs_request_size: params.collective_buffer.max(phase.effective_request_size()),
         sync_overhead,
     }
@@ -121,14 +115,26 @@ mod tests {
         }
     }
 
+    fn run_plan(
+        sim: &mut Simulation,
+        c: &Cluster,
+        p: &FsParams,
+        node_bytes: &[(usize, f64)],
+    ) -> (CollectivePlan, Vec<(usize, f64)>) {
+        let mut fs_out = Vec::new();
+        let plan =
+            plan_collective(sim, c, p, &phase(), node_bytes, &mut fs_out, &mut Vec::new());
+        (plan, fs_out)
+    }
+
     #[test]
     fn aggregators_split_total_evenly() {
         let mut sim = Simulation::new();
         let c = cluster(&mut sim, 4);
         let node_bytes = vec![(0, mib(1024.0)), (1, mib(1024.0)), (2, mib(1024.0)), (3, mib(1024.0))];
-        let plan = plan_collective(&mut sim, &c, &FsParams::default(), &phase(), &node_bytes);
-        assert_eq!(plan.fs_bytes_per_node.len(), 4);
-        for &(_, b) in &plan.fs_bytes_per_node {
+        let (_, fs_out) = run_plan(&mut sim, &c, &FsParams::default(), &node_bytes);
+        assert_eq!(fs_out.len(), 4);
+        for &(_, b) in &fs_out {
             assert!((b - mib(1024.0)).abs() < 1.0);
         }
     }
@@ -139,7 +145,7 @@ mod tests {
         let c = cluster(&mut sim, 4);
         let node_bytes: Vec<(usize, f64)> = (0..4).map(|n| (n, mib(100.0))).collect();
         let before = sim.flow_count();
-        plan_collective(&mut sim, &c, &FsParams::default(), &phase(), &node_bytes);
+        run_plan(&mut sim, &c, &FsParams::default(), &node_bytes);
         assert_eq!(sim.flow_count() - before, 16, "4 sources × 4 aggregators");
     }
 
@@ -148,7 +154,7 @@ mod tests {
         let mut sim = Simulation::new();
         let c = cluster(&mut sim, 2);
         let p = FsParams::default();
-        let plan = plan_collective(&mut sim, &c, &p, &phase(), &[(0, mib(10.0)), (1, mib(10.0))]);
+        let (plan, _) = run_plan(&mut sim, &c, &p, &[(0, mib(10.0)), (1, mib(10.0))]);
         assert_eq!(plan.fs_request_size, p.collective_buffer);
     }
 
@@ -157,8 +163,8 @@ mod tests {
         let mut sim = Simulation::new();
         let c = cluster(&mut sim, 2);
         let p = FsParams::default();
-        let small = plan_collective(&mut sim, &c, &p, &phase(), &[(0, mib(8.0)), (1, mib(8.0))]);
-        let big = plan_collective(&mut sim, &c, &p, &phase(), &[(0, mib(800.0)), (1, mib(800.0))]);
+        let (small, _) = run_plan(&mut sim, &c, &p, &[(0, mib(8.0)), (1, mib(8.0))]);
+        let (big, _) = run_plan(&mut sim, &c, &p, &[(0, mib(800.0)), (1, mib(800.0))]);
         assert!(big.sync_overhead > small.sync_overhead);
     }
 
@@ -167,9 +173,8 @@ mod tests {
         let mut sim = Simulation::new();
         let c = cluster(&mut sim, 1);
         let before = sim.flow_count();
-        let plan =
-            plan_collective(&mut sim, &c, &FsParams::default(), &phase(), &[(0, mib(64.0))]);
+        let (_, fs_out) = run_plan(&mut sim, &c, &FsParams::default(), &[(0, mib(64.0))]);
         assert_eq!(sim.flow_count() - before, 1, "one bus flow");
-        assert_eq!(plan.fs_bytes_per_node, vec![(0, mib(64.0))]);
+        assert_eq!(fs_out, vec![(0, mib(64.0))]);
     }
 }

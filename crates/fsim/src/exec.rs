@@ -2,6 +2,8 @@
 //! each I/O burst as flows on a fresh simulation of the configured cluster,
 //! and accumulates end-to-end time.
 
+use std::cell::RefCell;
+
 use crate::collective::plan_collective;
 use crate::config::{FsType, IoSystem};
 use crate::fault::{FaultEvent, FaultPlan};
@@ -9,14 +11,52 @@ use crate::nfs::{plan_nfs_phase, NfsState};
 use crate::outcome::RunOutcome;
 use crate::params::FsParams;
 use crate::phase::{Phase, Workload};
-use crate::plan::io_procs_per_node;
+use crate::plan::io_procs_per_node_into;
 use crate::pvfs::plan_pvfs_phase;
-use acic_cloudsim::cluster::{Cluster, Placement};
-use acic_cloudsim::network::FabricSpec;
-use acic_cloudsim::engine::Simulation;
+use acic_cloudsim::arena::SimArena;
+use acic_cloudsim::cluster::{Cluster, ClusterPool, Placement};
+use acic_cloudsim::engine::SimEngine;
 use acic_cloudsim::error::CloudSimError;
+use acic_cloudsim::network::FabricSpec;
+use acic_cloudsim::resource::ResourceId;
 use acic_cloudsim::rng::SplitMix64;
 use acic_cloudsim::units::GIB;
+
+/// Reusable per-thread state for executing runs: the simulator arena, the
+/// cluster-topology pool, and every intermediate buffer one run needs.
+/// Campaigns thread one `SimScratch` through thousands of points so the
+/// steady state performs zero heap allocation (satellite: `train --report`
+/// surfaces the arena's pool-miss counter to prove it).
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    arena: SimArena,
+    cluster: ClusterPool,
+    path: Vec<ResourceId>,
+    procs: Vec<(usize, usize)>,
+    node_bytes: Vec<(usize, f64)>,
+    fs_nodes: Vec<(usize, f64)>,
+    phase_pool: Vec<Vec<f64>>,
+}
+
+impl SimScratch {
+    /// Fresh, empty scratch.  Pools warm up over the first run and are hit
+    /// from the second run onward.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return an outcome's phase-time vector to the pool so the next run
+    /// through this scratch does not allocate one.
+    pub fn recycle(&mut self, outcome: RunOutcome) {
+        let mut v = outcome.phase_secs;
+        v.clear();
+        self.phase_pool.push(v);
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+}
 
 /// Executes workloads on one I/O system configuration.
 #[derive(Debug, Clone)]
@@ -29,6 +69,9 @@ pub struct Executor {
     pub faults: FaultPlan,
     /// Network fabric layout (flat full-bisection by default).
     pub fabric: FabricSpec,
+    /// Simulator core preference; `None` defers to the process override
+    /// and the `ACIC_SIM` environment variable.
+    pub sim_engine: Option<SimEngine>,
 }
 
 impl Executor {
@@ -39,6 +82,7 @@ impl Executor {
             params: FsParams::default(),
             faults: FaultPlan::NONE,
             fabric: FabricSpec::FLAT,
+            sim_engine: None,
         }
     }
 
@@ -60,9 +104,36 @@ impl Executor {
         self
     }
 
+    /// Pin the simulator core for this executor (equivalence tests and
+    /// benches); campaigns normally leave this `None`.
+    pub fn with_sim_engine(mut self, engine: SimEngine) -> Self {
+        self.sim_engine = Some(engine);
+        self
+    }
+
     /// Run `workload` with the given seed; deterministic per
     /// `(system, workload, seed)`.
+    ///
+    /// Convenience wrapper over [`Self::run_in`] using a thread-local
+    /// [`SimScratch`], so repeated calls on one thread reuse the pools.
     pub fn run(&self, workload: &Workload, seed: u64) -> Result<RunOutcome, CloudSimError> {
+        SCRATCH.with(|s| match s.try_borrow_mut() {
+            Ok(mut scratch) => self.run_in(workload, seed, &mut scratch),
+            // Re-entrant call (labels closures never run sims, but be safe):
+            // fall back to a cold scratch rather than panicking.
+            Err(_) => self.run_in(workload, seed, &mut SimScratch::new()),
+        })
+    }
+
+    /// Run `workload` with the given seed using caller-owned scratch.
+    /// Identical results to [`Self::run`]; campaigns call this directly so
+    /// one warm [`SimScratch`] serves every training point on the thread.
+    pub fn run_in(
+        &self,
+        workload: &Workload,
+        seed: u64,
+        scratch: &mut SimScratch,
+    ) -> Result<RunOutcome, CloudSimError> {
         self.system.validate()?;
         let spec = self.system.cluster;
         let root_rng = SplitMix64::new(seed);
@@ -89,7 +160,9 @@ impl Executor {
         let mut io_secs = 0.0f64;
         let mut compute_secs = 0.0f64;
         let mut fault_secs = 0.0f64;
-        let mut phase_secs = Vec::with_capacity(workload.phases.len());
+        let mut phase_secs = scratch.phase_pool.pop().unwrap_or_default();
+        phase_secs.clear();
+        phase_secs.reserve(workload.phases.len());
         let mut faults = 0usize;
         let mut fault_rng = root_rng.derive(u64::MAX);
 
@@ -109,25 +182,55 @@ impl Executor {
                 }
                 Phase::Io(io) => {
                     let mut rng = root_rng.derive(idx as u64);
-                    let mut sim = Simulation::new();
-                    let cluster = Cluster::build_with_fabric(spec, self.fabric, &mut sim, &mut rng)?;
+                    let mut sim = scratch.arena.simulation();
+                    sim.set_engine(self.sim_engine);
+                    let cluster = match Cluster::build_with_fabric_pooled(
+                        spec,
+                        self.fabric,
+                        &mut sim,
+                        &mut rng,
+                        &mut scratch.cluster,
+                    ) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            scratch.arena.reclaim(sim);
+                            return Err(e);
+                        }
+                    };
 
                     // Interface-level byte inflation (file-format framing).
                     let inflate = 1.0 + io.api.byte_inflation();
-                    let node_bytes: Vec<(usize, f64)> =
-                        io_procs_per_node(&cluster, io.io_procs, workload.nprocs)
-                            .into_iter()
-                            .map(|(n, procs)| (n, procs as f64 * io.per_proc_bytes * inflate))
-                            .collect();
+                    io_procs_per_node_into(
+                        &cluster,
+                        io.io_procs,
+                        workload.nprocs,
+                        &mut scratch.procs,
+                    );
+                    scratch.node_bytes.clear();
+                    scratch.node_bytes.extend(
+                        scratch
+                            .procs
+                            .iter()
+                            .map(|&(n, procs)| (n, procs as f64 * io.per_proc_bytes * inflate)),
+                    );
 
                     // Two-phase collective I/O rewrites who talks to the FS
                     // and with what request size.
-                    let (fs_nodes, fs_request, sync) = if io.effective_collective() {
-                        let plan =
-                            plan_collective(&mut sim, &cluster, &self.params, io, &node_bytes);
-                        (plan.fs_bytes_per_node, plan.fs_request_size, plan.sync_overhead)
+                    let (fs_request, sync) = if io.effective_collective() {
+                        let plan = plan_collective(
+                            &mut sim,
+                            &cluster,
+                            &self.params,
+                            io,
+                            &scratch.node_bytes,
+                            &mut scratch.fs_nodes,
+                            &mut scratch.path,
+                        );
+                        (plan.fs_request_size, plan.sync_overhead)
                     } else {
-                        (node_bytes, io.effective_request_size(), 0.0)
+                        scratch.fs_nodes.clear();
+                        scratch.fs_nodes.extend_from_slice(&scratch.node_bytes);
+                        (io.effective_request_size(), 0.0)
                     };
 
                     let serial = match self.system.fs.fs {
@@ -137,9 +240,10 @@ impl Executor {
                             &self.params,
                             io,
                             &mut nfs_state,
-                            &fs_nodes,
+                            &scratch.fs_nodes,
                             fs_request,
                             first_open,
+                            &mut scratch.path,
                         ),
                         FsType::Pvfs2 => plan_pvfs_phase(
                             &mut sim,
@@ -147,14 +251,18 @@ impl Executor {
                             &self.params,
                             io,
                             self.system.fs.stripe_size,
-                            &fs_nodes,
+                            &scratch.fs_nodes,
                             fs_request,
                             first_open,
+                            &mut scratch.path,
                         ),
                     };
                     first_open = false;
 
-                    let makespan = sim.run()?.makespan();
+                    let run_res = sim.run_makespan_in(&mut scratch.arena);
+                    scratch.cluster.reclaim(cluster);
+                    scratch.arena.reclaim(sim);
+                    let makespan = run_res?.makespan;
                     let fault_penalty = match self.faults.sample_event(&mut fault_rng) {
                         FaultEvent::None => 0.0,
                         FaultEvent::Degraded { penalty_secs } => {
@@ -242,6 +350,38 @@ mod tests {
         assert_eq!(a, b);
         let c = exec.run(&w, 8).unwrap();
         assert_ne!(a.total_secs, c.total_secs, "different seed, different jitter");
+    }
+
+    #[test]
+    fn pooled_scratch_reuse_matches_fresh_runs() {
+        let sys = system(FsConfig::pvfs2(mib(4.0)), 2, Placement::Dedicated);
+        let exec = Executor::new(sys);
+        let w = write_workload(32.0, 3, 1.0);
+        let baseline = exec.run(&w, 7).unwrap();
+        let mut scratch = SimScratch::new();
+        for _ in 0..3 {
+            let o = exec.run_in(&w, 7, &mut scratch).unwrap();
+            assert_eq!(o, baseline, "warm pools must not change results");
+            scratch.recycle(o);
+        }
+    }
+
+    #[test]
+    fn engines_agree_end_to_end() {
+        for (fs, servers) in [(FsConfig::nfs(), 1), (FsConfig::pvfs2(mib(4.0)), 4)] {
+            let sys = system(fs, servers, Placement::Dedicated);
+            let w = write_workload(64.0, 3, 0.5);
+            let r = Executor::new(sys).with_sim_engine(SimEngine::Reference).run(&w, 11).unwrap();
+            let e = Executor::new(sys).with_sim_engine(SimEngine::Event).run(&w, 11).unwrap();
+            assert_eq!(
+                r.total_secs.to_bits(),
+                e.total_secs.to_bits(),
+                "cores diverge on {fs:?}: {} vs {}",
+                r.total_secs,
+                e.total_secs
+            );
+            assert_eq!(r, e);
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod pvfs;
 
 pub use api::IoApi;
 pub use config::{FsConfig, FsType, IoSystem};
-pub use exec::Executor;
+pub use exec::{Executor, SimScratch};
 pub use fault::{FaultEvent, FaultPlan};
 pub use outcome::RunOutcome;
 pub use params::FsParams;

@@ -5,7 +5,7 @@ use crate::params::FsParams;
 use crate::phase::{IoOp, IoPhase};
 use acic_cloudsim::cluster::Cluster;
 use acic_cloudsim::engine::Simulation;
-use acic_cloudsim::flow::FlowSpec;
+use acic_cloudsim::resource::ResourceId;
 
 /// Mutable NFS server state carried across the phases of one run.
 #[derive(Debug, Clone)]
@@ -80,6 +80,8 @@ impl NfsState {
 ///
 /// `node_bytes` lists `(compute_node, bytes)` after any collective
 /// transform; `fs_request_size` is the request size the server sees.
+/// `path` is caller-owned scratch so pooled campaign runs allocate nothing.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn plan_nfs_phase(
     sim: &mut Simulation,
     cluster: &Cluster,
@@ -89,12 +91,12 @@ pub(crate) fn plan_nfs_phase(
     node_bytes: &[(usize, f64)],
     fs_request_size: f64,
     first_open: bool,
+    path: &mut Vec<ResourceId>,
 ) -> f64 {
     let server_node = cluster.node_of_server(0);
     let total: f64 = node_bytes.iter().map(|&(_, b)| b).sum();
     let total_calls = total / fs_request_size.max(1.0);
 
-    let mut path = Vec::with_capacity(4);
     match phase.op {
         IoOp::Write => {
             // Plain POSIX writes on an async mount complete into the
@@ -121,12 +123,9 @@ pub(crate) fn plan_nfs_phase(
                     continue;
                 }
                 path.clear();
-                cluster.net_path(node, server_node, &mut path);
-                sim.add_flow(
-                    FlowSpec::new(wire)
-                        .through_all(path.iter().copied())
-                        .labeled(format!("nfs wr n{node}")),
-                );
+                cluster.net_path(node, server_node, path);
+                let f = sim.push_flow(wire, path);
+                sim.label_flow(f, || format!("nfs wr n{node}"));
             }
             let wire_total = total * (1.0 - client_frac);
             // ROMIO collective buffering on NFS flushes and locks every
@@ -149,12 +148,9 @@ pub(crate) fn plan_nfs_phase(
                     1.0
                 };
                 path.clear();
-                cluster.storage_path(server_node, true, &mut path);
-                sim.add_flow(
-                    FlowSpec::new(sync_bytes * rand_amp)
-                        .through_all(path.iter().copied())
-                        .labeled("nfs wr sync"),
-                );
+                cluster.storage_path(server_node, true, path);
+                let f = sim.push_flow(sync_bytes * rand_amp, path);
+                sim.label_flow(f, || "nfs wr sync".to_owned());
             }
             state.written_file += total;
         }
@@ -170,12 +166,9 @@ pub(crate) fn plan_nfs_phase(
                 let miss = bytes - hit;
                 if hit > 0.0 {
                     path.clear();
-                    cluster.net_path(server_node, node, &mut path);
-                    sim.add_flow(
-                        FlowSpec::new(hit)
-                            .through_all(path.iter().copied())
-                            .labeled(format!("nfs rd hit n{node}")),
-                    );
+                    cluster.net_path(server_node, node, path);
+                    let f = sim.push_flow(hit, path);
+                    sim.label_flow(f, || format!("nfs rd hit n{node}"));
                 }
                 if miss > 0.0 {
                     let rand_amp = if phase.access.is_random() {
@@ -186,28 +179,19 @@ pub(crate) fn plan_nfs_phase(
                     if rand_amp > 1.0 {
                         // Decouple: seeks stretch the array time only.
                         path.clear();
-                        cluster.storage_path(server_node, false, &mut path);
-                        sim.add_flow(
-                            FlowSpec::new(miss * rand_amp)
-                                .through_all(path.iter().copied())
-                                .labeled(format!("nfs rd dev n{node}")),
-                        );
+                        cluster.storage_path(server_node, false, path);
+                        let f = sim.push_flow(miss * rand_amp, path);
+                        sim.label_flow(f, || format!("nfs rd dev n{node}"));
                         path.clear();
-                        cluster.net_path(server_node, node, &mut path);
-                        sim.add_flow(
-                            FlowSpec::new(miss)
-                                .through_all(path.iter().copied())
-                                .labeled(format!("nfs rd net n{node}")),
-                        );
+                        cluster.net_path(server_node, node, path);
+                        let f = sim.push_flow(miss, path);
+                        sim.label_flow(f, || format!("nfs rd net n{node}"));
                     } else {
                         path.clear();
-                        cluster.storage_path(server_node, false, &mut path);
-                        cluster.net_path(server_node, node, &mut path);
-                        sim.add_flow(
-                            FlowSpec::new(miss)
-                                .through_all(path.iter().copied())
-                                .labeled(format!("nfs rd miss n{node}")),
-                        );
+                        cluster.storage_path(server_node, false, path);
+                        cluster.net_path(server_node, node, path);
+                        let f = sim.push_flow(miss, path);
+                        sim.label_flow(f, || format!("nfs rd miss n{node}"));
                     }
                 }
             }
@@ -285,7 +269,7 @@ mod tests {
         let (mut sim, c) = setup(Placement::Dedicated);
         let mut st = state();
         let nb = vec![(0, mib(512.0)), (1, mib(512.0))];
-        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &phase(IoOp::Write), &mut st, &nb, mib(4.0), true);
+        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &phase(IoOp::Write), &mut st, &nb, mib(4.0), true, &mut Vec::new());
         assert!((st.dirty - gib(1.0)).abs() < 1.0);
         // Only the two network flows, no overflow flow.
         assert_eq!(sim.flow_count(), 2);
@@ -296,7 +280,7 @@ mod tests {
         let (mut sim, c) = setup(Placement::Dedicated);
         let mut st = NfsState::new(gib(1.0), 140.0e6);
         let nb = vec![(0, gib(2.0))];
-        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &phase(IoOp::Write), &mut st, &nb, mib(4.0), true);
+        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &phase(IoOp::Write), &mut st, &nb, mib(4.0), true, &mut Vec::new());
         // One network flow plus one overflow flow.
         assert_eq!(sim.flow_count(), 2);
         assert!((st.dirty - gib(1.0)).abs() < 1.0, "cache filled to capacity");
@@ -307,7 +291,7 @@ mod tests {
         let (mut sim, c) = setup(Placement::Dedicated);
         let mut st = state();
         let nb = vec![(0, gib(1.0))];
-        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &phase(IoOp::Read), &mut st, &nb, mib(4.0), true);
+        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &phase(IoOp::Read), &mut st, &nb, mib(4.0), true, &mut Vec::new());
         assert_eq!(sim.flow_count(), 1, "single miss flow");
         assert_eq!(st.read_hit_bytes(gib(1.0)), 0.0, "cold data never hits");
     }
@@ -329,9 +313,9 @@ mod tests {
         let mut st = state();
         let nb = vec![(0, gib(1.0))];
         let p = FsParams::default();
-        plan_nfs_phase(&mut sim, &c, &p, &phase(IoOp::Write), &mut st, &nb, mib(4.0), true);
+        plan_nfs_phase(&mut sim, &c, &p, &phase(IoOp::Write), &mut st, &nb, mib(4.0), true, &mut Vec::new());
         let before = sim.flow_count();
-        plan_nfs_phase(&mut sim, &c, &p, &phase(IoOp::Read), &mut st, &nb, mib(4.0), true);
+        plan_nfs_phase(&mut sim, &c, &p, &phase(IoOp::Read), &mut st, &nb, mib(4.0), true, &mut Vec::new());
         // All bytes cached → exactly one hit flow, no miss flow.
         assert_eq!(sim.flow_count() - before, 1);
     }
@@ -345,15 +329,15 @@ mod tests {
         let mut shared = phase(IoOp::Write);
         shared.collective = false;
         shared.shared_file = true;
-        let s1 = plan_nfs_phase(&mut sim, &c, &p, &shared, &mut state(), &nb, mib(4.0), true);
+        let s1 = plan_nfs_phase(&mut sim, &c, &p, &shared, &mut state(), &nb, mib(4.0), true, &mut Vec::new());
 
         let mut coll = shared;
         coll.collective = true;
-        let s2 = plan_nfs_phase(&mut sim, &c, &p, &coll, &mut state(), &nb, mib(4.0), true);
+        let s2 = plan_nfs_phase(&mut sim, &c, &p, &coll, &mut state(), &nb, mib(4.0), true, &mut Vec::new());
 
         let mut private = shared;
         private.shared_file = false;
-        let s3 = plan_nfs_phase(&mut sim, &c, &p, &private, &mut state(), &nb, mib(4.0), true);
+        let s3 = plan_nfs_phase(&mut sim, &c, &p, &private, &mut state(), &nb, mib(4.0), true, &mut Vec::new());
 
         assert!(s1 > s2, "collective avoids locks: {s1} vs {s2}");
         // Private files avoid locks too (but pay extra metadata, far less).
@@ -367,7 +351,7 @@ mod tests {
         let mut coll = phase(IoOp::Write);
         coll.collective = true;
         let nb = vec![(0, mib(512.0))];
-        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &coll, &mut st, &nb, mib(16.0), true);
+        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &coll, &mut st, &nb, mib(16.0), true, &mut Vec::new());
         assert_eq!(st.dirty, 0.0, "nothing absorbed: ROMIO flushes each round");
         assert_eq!(sim.flow_count(), 2, "network flow + sync array flow");
     }
@@ -388,7 +372,7 @@ mod tests {
         let mut st = state();
         // Node 0 hosts the server; its writes stay local.
         let nb = vec![(0, mib(100.0))];
-        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &phase(IoOp::Write), &mut st, &nb, mib(4.0), true);
+        plan_nfs_phase(&mut sim, &c, &FsParams::default(), &phase(IoOp::Write), &mut st, &nb, mib(4.0), true, &mut Vec::new());
         assert_eq!(sim.flow_count(), 1);
         // Bus capacity >> NIC capacity, so the single flow must finish
         // faster than the same flow over the wire would.

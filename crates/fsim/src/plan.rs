@@ -6,13 +6,15 @@ use acic_cloudsim::cluster::Cluster;
 /// How many of the `io_procs` I/O processes live on each compute node when
 /// the processes are spread evenly across ranks (the common block layout).
 ///
-/// Returns `(node_index, procs_on_node)` for every compute node with at
-/// least one I/O process.
-pub(crate) fn io_procs_per_node(
+/// Fills `out` with `(node_index, procs_on_node)` for every compute node
+/// with at least one I/O process.  Takes an output buffer so pooled
+/// campaign runs can reuse one allocation across points.
+pub(crate) fn io_procs_per_node_into(
     cluster: &Cluster,
     io_procs: usize,
     nprocs: usize,
-) -> Vec<(usize, usize)> {
+    out: &mut Vec<(usize, usize)>,
+) {
     let nodes = cluster.spec.compute_instances;
     let io_procs = io_procs.min(nprocs).max(1);
     // I/O ranks are strided evenly over [0, nprocs); with block rank→node
@@ -20,18 +22,35 @@ pub(crate) fn io_procs_per_node(
     // picking up the remainder.
     let base = io_procs / nodes;
     let extra = io_procs % nodes;
-    (0..nodes)
-        .map(|n| (n, base + usize::from(n < extra)))
-        .filter(|&(_, c)| c > 0)
-        .collect()
+    out.clear();
+    out.extend(
+        (0..nodes).map(|n| (n, base + usize::from(n < extra))).filter(|&(_, c)| c > 0),
+    );
+}
+
+/// Allocating convenience wrapper around [`io_procs_per_node_into`].
+#[cfg(test)]
+pub(crate) fn io_procs_per_node(
+    cluster: &Cluster,
+    io_procs: usize,
+    nprocs: usize,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    io_procs_per_node_into(cluster, io_procs, nprocs, &mut out);
+    out
 }
 
 /// The I/O servers a client on `node` talks to when each request spans
 /// `spread` of the `nservers` servers; round-robin rotated by node so load
-/// balances across servers.
-pub(crate) fn servers_for_node(node: usize, spread: usize, nservers: usize) -> Vec<usize> {
+/// balances across servers.  Returns a lazy iterator — callers in the
+/// per-point hot path must not allocate.
+pub(crate) fn servers_for_node(
+    node: usize,
+    spread: usize,
+    nservers: usize,
+) -> impl ExactSizeIterator<Item = usize> + Clone {
     let spread = spread.clamp(1, nservers);
-    (0..spread).map(|k| (node + k) % nservers).collect()
+    (0..spread).map(move |k| (node + k) % nservers)
 }
 
 #[cfg(test)]
@@ -88,16 +107,20 @@ mod tests {
         assert_eq!(total, 32);
     }
 
+    fn servers(node: usize, spread: usize, nservers: usize) -> Vec<usize> {
+        servers_for_node(node, spread, nservers).collect()
+    }
+
     #[test]
     fn server_selection_rotates_by_node() {
-        assert_eq!(servers_for_node(0, 2, 4), vec![0, 1]);
-        assert_eq!(servers_for_node(1, 2, 4), vec![1, 2]);
-        assert_eq!(servers_for_node(3, 2, 4), vec![3, 0]);
+        assert_eq!(servers(0, 2, 4), vec![0, 1]);
+        assert_eq!(servers(1, 2, 4), vec![1, 2]);
+        assert_eq!(servers(3, 2, 4), vec![3, 0]);
     }
 
     #[test]
     fn spread_clamped_to_server_count() {
-        assert_eq!(servers_for_node(0, 10, 4), vec![0, 1, 2, 3]);
-        assert_eq!(servers_for_node(2, 0, 4), vec![2]);
+        assert_eq!(servers(0, 10, 4), vec![0, 1, 2, 3]);
+        assert_eq!(servers(2, 0, 4), vec![2]);
     }
 }

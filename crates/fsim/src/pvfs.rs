@@ -6,7 +6,7 @@ use crate::phase::{IoOp, IoPhase};
 use crate::plan::servers_for_node;
 use acic_cloudsim::cluster::Cluster;
 use acic_cloudsim::engine::Simulation;
-use acic_cloudsim::flow::FlowSpec;
+use acic_cloudsim::resource::ResourceId;
 
 /// Plan one PVFS2 I/O burst: add its flows to `sim` and return the serial
 /// (non-bandwidth) overhead in seconds.
@@ -16,6 +16,9 @@ use acic_cloudsim::flow::FlowSpec;
 /// spread single requests wide while large stripes keep them on one server
 /// — the per-request parallelism/overhead trade-off behind the Table 1
 /// "Stripe size" dimension.
+///
+/// `path` is caller-owned scratch so pooled campaign runs allocate nothing.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn plan_pvfs_phase(
     sim: &mut Simulation,
     cluster: &Cluster,
@@ -25,6 +28,7 @@ pub(crate) fn plan_pvfs_phase(
     node_bytes: &[(usize, f64)],
     fs_request_size: f64,
     first_open: bool,
+    path: &mut Vec<ResourceId>,
 ) -> f64 {
     let nservers = cluster.io_server_nodes.len();
     let total: f64 = node_bytes.iter().map(|&(_, b)| b).sum();
@@ -52,7 +56,6 @@ pub(crate) fn plan_pvfs_phase(
         (1.0, 0.0)
     };
 
-    let mut path = Vec::with_capacity(4);
     for &(node, bytes) in node_bytes {
         if bytes <= 0.0 {
             continue;
@@ -75,64 +78,43 @@ pub(crate) fn plan_pvfs_phase(
                     // the padded/seek-stretched extent moves through the
                     // array, and any RMW pre-read occupies the read channel.
                     path.clear();
-                    cluster.net_path(node, server_node, &mut path);
-                    sim.add_flow(
-                        FlowSpec::new(per_server)
-                            .through_all(path.iter().copied())
-                            .labeled(format!("pvfs wr net n{node}->s{s}")),
-                    );
+                    cluster.net_path(node, server_node, path);
+                    let f = sim.push_flow(per_server, path);
+                    sim.label_flow(f, || format!("pvfs wr net n{node}->s{s}"));
                     path.clear();
-                    cluster.storage_path(server_node, true, &mut path);
-                    sim.add_flow(
-                        FlowSpec::new(per_server * write_amp * rand_amp)
-                            .through_all(path.iter().copied())
-                            .labeled(format!("pvfs wr dev s{s}")),
-                    );
+                    cluster.storage_path(server_node, true, path);
+                    let f = sim.push_flow(per_server * write_amp * rand_amp, path);
+                    sim.label_flow(f, || format!("pvfs wr dev s{s}"));
                     if rmw_read_frac > 0.0 {
                         path.clear();
-                        cluster.storage_path(server_node, false, &mut path);
-                        sim.add_flow(
-                            FlowSpec::new(per_server * rmw_read_frac)
-                                .through_all(path.iter().copied())
-                                .labeled(format!("pvfs rmw rd s{s}")),
-                        );
+                        cluster.storage_path(server_node, false, path);
+                        let f = sim.push_flow(per_server * rmw_read_frac, path);
+                        sim.label_flow(f, || format!("pvfs rmw rd s{s}"));
                     }
                 }
                 IoOp::Write => {
                     path.clear();
-                    cluster.net_path(node, server_node, &mut path);
-                    cluster.storage_path(server_node, true, &mut path);
-                    sim.add_flow(
-                        FlowSpec::new(per_server)
-                            .through_all(path.iter().copied())
-                            .labeled(format!("pvfs wr n{node}->s{s}")),
-                    );
+                    cluster.net_path(node, server_node, path);
+                    cluster.storage_path(server_node, true, path);
+                    let f = sim.push_flow(per_server, path);
+                    sim.label_flow(f, || format!("pvfs wr n{node}->s{s}"));
                 }
                 IoOp::Read if rand_amp > 1.0 => {
                     path.clear();
-                    cluster.storage_path(server_node, false, &mut path);
-                    sim.add_flow(
-                        FlowSpec::new(per_server * rand_amp)
-                            .through_all(path.iter().copied())
-                            .labeled(format!("pvfs rd dev s{s}")),
-                    );
+                    cluster.storage_path(server_node, false, path);
+                    let f = sim.push_flow(per_server * rand_amp, path);
+                    sim.label_flow(f, || format!("pvfs rd dev s{s}"));
                     path.clear();
-                    cluster.net_path(server_node, node, &mut path);
-                    sim.add_flow(
-                        FlowSpec::new(per_server)
-                            .through_all(path.iter().copied())
-                            .labeled(format!("pvfs rd net s{s}->n{node}")),
-                    );
+                    cluster.net_path(server_node, node, path);
+                    let f = sim.push_flow(per_server, path);
+                    sim.label_flow(f, || format!("pvfs rd net s{s}->n{node}"));
                 }
                 IoOp::Read => {
                     path.clear();
-                    cluster.storage_path(server_node, false, &mut path);
-                    cluster.net_path(server_node, node, &mut path);
-                    sim.add_flow(
-                        FlowSpec::new(per_server)
-                            .through_all(path.iter().copied())
-                            .labeled(format!("pvfs rd s{s}->n{node}")),
-                    );
+                    cluster.storage_path(server_node, false, path);
+                    cluster.net_path(server_node, node, path);
+                    let f = sim.push_flow(per_server, path);
+                    sim.label_flow(f, || format!("pvfs rd s{s}->n{node}"));
                 }
             }
         }
@@ -210,6 +192,7 @@ mod tests {
             &[(0, mib(256.0)), (1, mib(256.0))],
             mib(16.0),
             true,
+            &mut Vec::new(),
         );
         assert_eq!(sim.flow_count(), 8, "2 nodes × 4 servers");
     }
@@ -227,6 +210,7 @@ mod tests {
             &[(0, mib(256.0)), (1, mib(256.0))],
             mib(4.0),
             true,
+            &mut Vec::new(),
         );
         assert_eq!(sim.flow_count(), 2, "one flow per node");
     }
@@ -244,6 +228,7 @@ mod tests {
             &[(0, mib(256.0))],
             kib(256.0),
             true,
+            &mut Vec::new(),
         );
         assert_eq!(sim.flow_count(), 4);
     }
@@ -263,6 +248,7 @@ mod tests {
                 &[(0, mib(4096.0)), (1, mib(4096.0))],
                 mib(16.0),
                 true,
+                &mut Vec::new(),
             );
             times.push(sim.run().unwrap().makespan());
         }
@@ -275,8 +261,8 @@ mod tests {
         let (mut sim, c) = setup(4);
         let p = FsParams::default();
         let nb = vec![(0, mib(4096.0))];
-        let s_small = plan_pvfs_phase(&mut sim, &c, &p, &phase(IoOp::Write), kib(64.0), &nb, mib(16.0), true);
-        let s_large = plan_pvfs_phase(&mut sim, &c, &p, &phase(IoOp::Write), mib(4.0), &nb, mib(16.0), true);
+        let s_small = plan_pvfs_phase(&mut sim, &c, &p, &phase(IoOp::Write), kib(64.0), &nb, mib(16.0), true, &mut Vec::new());
+        let s_large = plan_pvfs_phase(&mut sim, &c, &p, &phase(IoOp::Write), mib(4.0), &nb, mib(16.0), true, &mut Vec::new());
         assert!(s_small > s_large, "{s_small} vs {s_large}");
     }
 
@@ -292,6 +278,7 @@ mod tests {
             &[(0, mib(100.0))],
             mib(16.0),
             true,
+            &mut Vec::new(),
         );
         // One flow; it must be rate-limited by the array read channel
         // (~494 MB/s for 4 ephemeral disks) rather than the NIC.
@@ -307,11 +294,11 @@ mod tests {
         let nb = vec![(0, mib(2048.0))];
         // Aligned: 16 MiB requests on 4 MiB stripes.
         let (mut sim_a, c_a) = setup(4);
-        plan_pvfs_phase(&mut sim_a, &c_a, &p, &phase(IoOp::Write), mib(4.0), &nb, mib(16.0), true);
+        plan_pvfs_phase(&mut sim_a, &c_a, &p, &phase(IoOp::Write), mib(4.0), &nb, mib(16.0), true, &mut Vec::new());
         let t_aligned = sim_a.run().unwrap().makespan();
         // Unaligned: 0.5 MiB requests on 4 MiB stripes → 8× padding.
         let (mut sim_u, c_u) = setup(4);
-        plan_pvfs_phase(&mut sim_u, &c_u, &p, &phase(IoOp::Write), mib(4.0), &nb, mib(0.5), true);
+        plan_pvfs_phase(&mut sim_u, &c_u, &p, &phase(IoOp::Write), mib(4.0), &nb, mib(0.5), true, &mut Vec::new());
         let t_unaligned = sim_u.run().unwrap().makespan();
         assert!(
             t_unaligned > 1.5 * t_aligned,
@@ -327,13 +314,13 @@ mod tests {
         let (mut sim_c, c_c) = setup(4);
         let mut coll = phase(IoOp::Write);
         coll.collective = true;
-        plan_pvfs_phase(&mut sim_c, &c_c, &p, &coll, mib(4.0), &nb, mib(0.5), true);
+        plan_pvfs_phase(&mut sim_c, &c_c, &p, &coll, mib(4.0), &nb, mib(0.5), true, &mut Vec::new());
         assert_eq!(sim_c.flow_count(), 1, "collective write: single merged flow");
         // Per-process files: sequential streams, no RMW either.
         let (mut sim_p, c_p) = setup(4);
         let mut private = phase(IoOp::Write);
         private.shared_file = false;
-        plan_pvfs_phase(&mut sim_p, &c_p, &p, &private, mib(4.0), &nb, mib(0.5), true);
+        plan_pvfs_phase(&mut sim_p, &c_p, &p, &private, mib(4.0), &nb, mib(0.5), true, &mut Vec::new());
         assert_eq!(sim_p.flow_count(), 1);
     }
 
@@ -343,7 +330,7 @@ mod tests {
         p.pvfs_rmw_enabled = false;
         let nb = vec![(0, mib(2048.0))];
         let (mut sim, c) = setup(4);
-        plan_pvfs_phase(&mut sim, &c, &p, &phase(IoOp::Write), mib(4.0), &nb, mib(0.5), true);
+        plan_pvfs_phase(&mut sim, &c, &p, &phase(IoOp::Write), mib(4.0), &nb, mib(0.5), true, &mut Vec::new());
         // Without RMW the unaligned write plans like an aligned one:
         // spread=1 server → exactly 1 flow, no rmw flows.
         assert_eq!(sim.flow_count(), 1);
@@ -358,8 +345,8 @@ mod tests {
         shared.shared_file = true;
         let mut private = shared;
         private.shared_file = false;
-        let s_shared = plan_pvfs_phase(&mut sim, &c, &p, &shared, mib(4.0), &nb, mib(16.0), true);
-        let s_private = plan_pvfs_phase(&mut sim, &c, &p, &private, mib(4.0), &nb, mib(16.0), true);
+        let s_shared = plan_pvfs_phase(&mut sim, &c, &p, &shared, mib(4.0), &nb, mib(16.0), true, &mut Vec::new());
+        let s_private = plan_pvfs_phase(&mut sim, &c, &p, &private, mib(4.0), &nb, mib(16.0), true, &mut Vec::new());
         assert!(s_private > s_shared);
     }
 }

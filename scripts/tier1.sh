@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, full test suite, bench compile check, the CART engine
-# and compiled-inference benchmark artifacts (BENCH_cart.json and
-# BENCH_predict.json at the repo root), a fault-injection training sweep
-# that must complete with zero skipped points, and the serve smoke gate
+# Tier-1 gate: build, full test suite, bench compile check, the CART engine,
+# compiled-inference, and simulator-core benchmark artifacts (BENCH_cart.json,
+# BENCH_predict.json, and BENCH_sim.json at the repo root), a fault-injection
+# training sweep that must complete with zero skipped points (replayed
+# byte-identically on the reference simulator core), and the serve smoke gate
 # (replay determinism across worker counts and across scoring engines, plus
 # BENCH_serve.json).
 set -euo pipefail
@@ -19,6 +20,14 @@ cargo run --release --offline -p acic-bench --bin bench_cart
 cargo run --release --offline -p acic-bench --bin bench_predict
 grep -q '"mismatches": 0' BENCH_predict.json
 
+# Simulator-core gate: the event-driven core must reproduce the
+# progressive-filling reference oracle bit-for-bit on every storm seed
+# (zero mismatches in the artifact) and hold its events/sec speedup on a
+# campaign-scale storm (the binary asserts the median pair ratio itself,
+# with a gate_mode-reduced bar on single-core runners).
+cargo run --release --offline -p acic-bench --bin bench_sim
+grep -q '"mismatches": 0' BENCH_sim.json
+
 # Resilience gate: a training campaign under the paper's observed fault rate
 # (§5.6 observation 5) must retry every abort away.  `train` exits non-zero
 # if any point was skipped (no --allow-skips given), so the gate is the exit
@@ -26,6 +35,14 @@ grep -q '"mismatches": 0' BENCH_predict.json
 # of the workspace suite (tests/resilience.rs, tests/properties.rs).
 cargo run --release --offline -p acic-cli --bin acic -- \
   train --dims 4 --faults paper-rate --report --out target/tier1-train-db.txt
+
+# Simulator-core cross-check: the same faulted campaign replayed on the
+# reference oracle (ACIC_SIM=reference) must write byte-identical database
+# text — the event core trains on exactly what the oracle would measure.
+ACIC_SIM=reference ./target/release/acic \
+  train --dims 4 --faults paper-rate --out target/tier1-train-db-ref.txt
+cmp target/tier1-train-db.txt target/tier1-train-db-ref.txt
+rm -f target/tier1-train-db-ref.txt
 
 # Serve gate: the same replay file answered at two worker counts — with a
 # mid-replay hot-swap to a freshly retrained (identical) snapshot — must

@@ -1,0 +1,82 @@
+//! Cross-engine acceptance: a faulted training campaign must collect the
+//! *same bytes* whether the flow simulator runs the event-driven core or
+//! the progressive-filling reference oracle — and a campaign killed under
+//! one core must resume bit-identically under the other.  Fault sampling
+//! is rng-driven (independent of simulated times), so engine equivalence
+//! on makespans is exactly what makes this hold.
+
+use acic_repro::acic::training::CollectOptions;
+use acic_repro::acic::Trainer;
+use acic_repro::cloudsim::{set_engine_override, SimEngine};
+use acic_repro::fsim::FaultPlan;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Kill a journal "halfway": keep the 2-line header plus half the entry
+/// lines, then append a torn fragment of the next line.
+fn truncate_journal_halfway(full: &str) -> String {
+    let lines: Vec<&str> = full.lines().collect();
+    let header = 2; // version line + campaign line
+    let entries = lines.len() - header;
+    assert!(entries >= 2, "campaign too small to interrupt");
+    let keep = header + entries / 2;
+    let mut cut = lines[..keep].join("\n");
+    cut.push('\n');
+    cut.push_str(&lines[keep][..lines[keep].len() / 2]);
+    cut
+}
+
+// One test function on purpose: the engine override is process-global, so
+// interleaving it across #[test]s in the same binary would race.
+#[test]
+fn faulted_campaign_is_bit_identical_across_engines_even_through_a_kill() {
+    let trainer = Trainer::with_paper_ranking(20131117).with_faults(FaultPlan::papers_observed_rate());
+    let points = trainer.sample_points(2);
+    assert!(points.len() >= 4, "need a campaign worth interrupting");
+
+    // Straight runs under each core: the serialized database must match
+    // byte for byte (faults, retries and all).
+    set_engine_override(Some(SimEngine::Reference));
+    let reference = trainer.collect_with(&points, &CollectOptions::default()).unwrap();
+    assert!(reference.report.is_complete(), "paper-rate faults must all be retried away");
+    set_engine_override(Some(SimEngine::Event));
+    let event = trainer.collect_with(&points, &CollectOptions::default()).unwrap();
+    assert_eq!(event.db, reference.db, "engines diverged on a faulted campaign");
+    assert_eq!(
+        event.db.to_text(),
+        reference.db.to_text(),
+        "engines produced different database bytes"
+    );
+    assert_eq!(event.report, reference.report, "engines saw different fault/retry traffic");
+
+    // Kill-anywhere across cores: journal the campaign under the event
+    // core, tear the journal halfway, resume under the reference oracle.
+    // The resumed database must still equal the uninterrupted one.
+    let path = tmp("sim-engines-crosscore.journal");
+    let _ = fs::remove_file(&path);
+    let opts = CollectOptions { journal: Some(&path), ..Default::default() };
+    set_engine_override(Some(SimEngine::Event));
+    let journaled = trainer.collect_with(&points, &opts).unwrap();
+    assert_eq!(journaled.db, reference.db);
+    let full_journal = fs::read_to_string(&path).unwrap();
+
+    fs::write(&path, truncate_journal_halfway(&full_journal)).unwrap();
+    set_engine_override(Some(SimEngine::Reference));
+    let resumed = trainer.collect_with(&points, &opts).unwrap();
+    assert!(resumed.report.resumed > 0, "the truncated journal must contribute points");
+    assert!(resumed.report.completed > 0, "the kill must leave work to redo");
+    assert_eq!(
+        resumed.db, reference.db,
+        "resume across engines diverged from the uninterrupted campaign"
+    );
+    assert_eq!(resumed.db.to_text(), reference.db.to_text());
+
+    let _ = fs::remove_file(&path);
+    set_engine_override(None);
+}
