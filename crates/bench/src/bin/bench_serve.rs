@@ -110,7 +110,7 @@ fn scaling_run(
     metrics: Metrics,
 ) -> (f64, Vec<f64>, usize, Server) {
     let cfg = ServeConfig { workers, queue_depth: 256, service_stall: STALL, ..Default::default() };
-    let server = Server::start(predictor.clone(), db_points, cfg, metrics);
+    let server = Server::start(predictor.clone(), db_points, cfg, metrics).expect("bench config is valid");
     let h = server.handle();
     // Warm the cache: every working-set key computed once.
     for r in reqs {
@@ -138,7 +138,7 @@ fn shed_run(
         service_stall: Duration::from_millis(2),
         ..Default::default()
     };
-    let server = Server::start(predictor.clone(), db_points, cfg, Metrics::new());
+    let server = Server::start(predictor.clone(), db_points, cfg, Metrics::new()).expect("bench config is valid");
     let h = server.handle();
     let burst = 64;
     let mut admitted = Vec::new();
@@ -180,7 +180,7 @@ fn hotswap_run(
         service_stall: Duration::from_micros(100),
         ..Default::default()
     };
-    let server = Server::start(predictor.clone(), db.len(), cfg, Metrics::new());
+    let server = Server::start(predictor.clone(), db.len(), cfg, Metrics::new()).expect("bench config is valid");
     let publishes = 8u64;
     let per_client = 400usize;
     let clients = 2usize;

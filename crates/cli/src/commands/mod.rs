@@ -75,6 +75,15 @@ USAGE:
         model snapshot after N submissions, while requests are in flight;
         --watch (with --snapshot) re-reads the snapshot file between
         submissions and hot-swaps whenever `acic publish` replaced it.
+        Cluster mode: --trace-out FILE [--trace-len N] [--trace-seed N]
+        [--trace-pool N] records a seeded machine trace and exits;
+        --trace FILE [--nodes N] [--replay-out FILE] [--window N] replays
+        it through an N-node cluster-in-a-process (consistent-hash routing,
+        verified snapshot replication) — stdout (the replay digest and
+        answered/shed counts) is byte-identical at any --nodes count.
+        --swap-at N republishes the artifact as a fresh generation
+        mid-replay; --kill-node I [--kill-at N] [--rejoin-at N] kills a
+        node mid-replay and rejoins it later (sheds are deterministic).
 
   acic ior        --args \"-a MPIIO -b 16m -t 4m -i 10 -w -c -N 64\"
                   [--config NOTATION] [--seed N]

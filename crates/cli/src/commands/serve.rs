@@ -1,5 +1,5 @@
 //! `acic serve` — drive the concurrent recommendation service from a
-//! replay file (or stdin).
+//! replay file (or stdin), single-node or clustered.
 //!
 //! Each request line is `<app> <procs> <goal> <k>` (`#` starts a comment).
 //! Requests are profiled into query points, submitted to the sharded
@@ -8,12 +8,26 @@
 //! so stdout is bit-identical at any `--workers` count and across a
 //! `--swap-at` hot-swap to an identically retrained snapshot, which is
 //! exactly what the tier-1 gate diffs.
+//!
+//! Cluster mode drives the multi-node tier instead:
+//!
+//! * `--trace-out FILE --trace-len N --trace-seed S` records a seeded
+//!   machine trace (exact-round-trip line format) and exits.
+//! * `--trace FILE --nodes N` replays a recorded trace through an
+//!   `N`-node cluster-in-a-process: stdout carries only the replay digest
+//!   and the answered/shed counts, which are byte-identical at any node
+//!   count (the tier-1 cluster gate diffs `--nodes 1/2/4`).  `--swap-at I`
+//!   republishes the artifact as a fresh generation mid-replay;
+//!   `--kill-node J --kill-at I --rejoin-at I'` schedules a mid-replay
+//!   node failure; `--replay-out FILE` records every answered
+//!   `index\tpayload` line for byte-diffing.
 
 use crate::args::Args;
 use crate::commands::{acic_from_args, parse_goal};
 use crate::registry::app_by_name;
 use acic::profile::app_point_from;
 use acic::{Metrics, Predictor, PublishedSnapshot};
+use acic_serve::cluster::{harness, Cluster, ClusterConfig, KillPlan, NodeId, ReplayOptions, Trace};
 use acic_serve::{Pending, Request, ServeConfig, Server};
 use std::io::Read;
 use std::path::Path;
@@ -37,7 +51,8 @@ fn parse_request_line(line: &str) -> Result<(String, Request), String> {
 pub fn run(args: &Args) -> Result<(), String> {
     args.reject_unknown(&[
         "db", "dims", "snapshot", "store", "seed", "workers", "queue", "batch", "cache", "replay",
-        "swap-at", "watch", "report",
+        "swap-at", "watch", "report", "nodes", "trace", "trace-out", "trace-len", "trace-seed",
+        "trace-pool", "replay-out", "window", "kill-node", "kill-at", "rejoin-at",
     ])?;
     let metrics = Metrics::new();
     let seed: u64 = args.parse_or("seed", 20131117)?;
@@ -46,6 +61,23 @@ pub fn run(args: &Args) -> Result<(), String> {
     let watch = args.flag("watch");
     if watch && args.get("snapshot").is_none() {
         return Err("--watch requires --snapshot FILE (the file `acic publish` writes)".into());
+    }
+
+    // Record mode: generate a seeded trace, write it, done — no model.
+    if let Some(path) = args.get("trace-out") {
+        let len: usize = args.parse_or("trace-len", 100_000)?;
+        let trace_seed: u64 = args.parse_or("trace-seed", 20131117)?;
+        let pool: usize = args.parse_or("trace-pool", Trace::DEFAULT_POOL)?;
+        let trace = Trace::with_pool(trace_seed, len, pool);
+        std::fs::write(path, trace.render()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("recorded {len}-request trace (seed {trace_seed}, pool {pool}) to {path}");
+        return Ok(());
+    }
+    if let Some(trace_path) = args.get("trace") {
+        return run_cluster(args, trace_path, seed, workers, swap_at, &metrics);
+    }
+    if args.get("nodes").is_some() {
+        return Err("--nodes needs --trace FILE (record one with --trace-out)".into());
     }
 
     let boot = acic_from_args(args, seed, &metrics)?;
@@ -79,7 +111,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         cache_capacity: args.parse_or("cache", 4096)?,
         ..Default::default()
     };
-    let server = Server::from_acic(&acic, cfg, metrics.clone());
+    let server = Server::from_acic(&acic, cfg, metrics.clone()).map_err(|e| e.to_string())?;
     let handle = server.handle();
     eprintln!(
         "serving with {workers} worker(s), queue depth {}, batch {} (snapshot v{}, {} points)",
@@ -155,5 +187,101 @@ pub fn run(args: &Args) -> Result<(), String> {
         eprint!("{}", metrics.render());
     }
     server.shutdown();
+    Ok(())
+}
+
+/// Cluster mode: replay a recorded trace through an `--nodes`-node
+/// cluster-in-a-process.  Stdout carries only node-count-invariant facts
+/// (the digest and the answered/shed counts); per-node diagnostics go to
+/// stderr.
+fn run_cluster(
+    args: &Args,
+    trace_path: &str,
+    seed: u64,
+    workers: usize,
+    swap_at: usize,
+    metrics: &Metrics,
+) -> Result<(), String> {
+    let nodes: usize = args.parse_or("nodes", 1)?;
+    let text =
+        std::fs::read_to_string(trace_path).map_err(|e| format!("reading {trace_path}: {e}"))?;
+    let requests = {
+        let _span = metrics.span("phase.parse");
+        harness::parse_trace(&text).map_err(|e| format!("{trace_path}: {e}"))?
+    };
+
+    let boot = acic_from_args(args, seed, metrics)?;
+    // The model artifact every node replicates: self-describing samples +
+    // seed + model kind, verified per node against its content hash.
+    let artifact = PublishedSnapshot::from_db(&boot.acic.db, boot.seed, boot.model);
+    let cfg = ClusterConfig {
+        nodes,
+        node: ServeConfig {
+            workers,
+            queue_depth: args.parse_or("queue", 128)?,
+            batch: args.parse_or("batch", 8)?,
+            cache_capacity: args.parse_or("cache", 4096)?,
+            ..Default::default()
+        },
+    };
+    let mut cluster =
+        Cluster::start(artifact, cfg, metrics.clone()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "cluster: {nodes} node(s) x {workers} worker(s), {} requests from {trace_path}, \
+         {} snapshot replicas verified",
+        requests.len(),
+        cluster.metrics().counter("cluster.snapshots_verified"),
+    );
+
+    let kill = match args.get("kill-node") {
+        Some(raw) => {
+            let node: u32 = raw.parse().map_err(|_| format!("bad --kill-node {raw:?}"))?;
+            let kill_at: usize = args.parse_or("kill-at", requests.len() / 3)?;
+            let rejoin_at: usize = args.parse_or("rejoin-at", 2 * requests.len() / 3)?;
+            if rejoin_at < kill_at {
+                return Err(format!("--rejoin-at {rejoin_at} is before --kill-at {kill_at}"));
+            }
+            Some(KillPlan { node: NodeId(node), kill_at, rejoin_at })
+        }
+        None => None,
+    };
+    let replay_out = args.get("replay-out");
+    let opts = ReplayOptions {
+        window: args.parse_or("window", ReplayOptions::DEFAULT_WINDOW)?,
+        kill,
+        republish_at: (swap_at < requests.len()).then_some(swap_at),
+        collect_responses: replay_out.is_some(),
+        ..Default::default()
+    };
+    let outcome = {
+        let _span = metrics.span("phase.replay");
+        harness::replay(&mut cluster, requests.len(), |i| requests[i], &opts)
+            .map_err(|e| e.to_string())?
+    };
+
+    if let Some(path) = replay_out {
+        let mut rendered = String::new();
+        for (index, payload) in &outcome.responses {
+            rendered.push_str(&format!("{index}\t{payload}\n"));
+        }
+        std::fs::write(path, rendered).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} answered-response lines to {path}", outcome.responses.len());
+    }
+    // Stdout: node-count-invariant facts only — the tier-1 gate byte-diffs
+    // this across --nodes 1/2/4.
+    println!("digest={:016x}", outcome.digest);
+    println!("answered={} shed={}", outcome.answered, outcome.shed.len());
+    eprintln!(
+        "cluster served {} (shed {}), generation {}, verified {} replicas ({} failures)",
+        cluster.served_count(),
+        cluster.shed_count(),
+        cluster.generation(),
+        cluster.metrics().counter("cluster.snapshots_verified"),
+        cluster.metrics().counter("cluster.snapshot_verify_failures"),
+    );
+    if args.flag("report") {
+        eprint!("{}", metrics.render());
+    }
+    cluster.shutdown();
     Ok(())
 }

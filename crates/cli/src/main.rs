@@ -13,6 +13,7 @@
 //! acic walk       --app NAME --procs N [--goal ..] [--random] [--seed N]
 //! acic sweep      --app NAME --procs N [--goal ..]
 //! acic serve      [--db db.txt|--dims N] [--workers N] [--replay file] [--swap-at N]
+//!                 [--nodes N --trace file] [--trace-out file] [--kill-node I]
 //! ```
 
 mod args;

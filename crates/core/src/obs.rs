@@ -166,6 +166,16 @@ impl Metrics {
         self.inner.lock().counters.get(name).copied().unwrap_or(0)
     }
 
+    /// A point-in-time snapshot of every counter, sorted by name.  The
+    /// cluster replay harness diffs these between runs (e.g. a kill/rejoin
+    /// replay against its no-kill reference), so the order must be
+    /// deterministic and the copy must be taken under one lock hold —
+    /// counters incremented concurrently are either wholly in or wholly
+    /// out, never torn across names.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner.lock().counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
     /// Accumulated seconds of a timer (0 when never touched).
     pub fn total_secs(&self, name: &str) -> f64 {
         self.inner.lock().timers.get(name).map(|(_, s)| *s).unwrap_or(0.0)
@@ -265,6 +275,22 @@ mod tests {
         let r = m.render();
         assert!(r.contains("points.attempted"), "{r}");
         assert!(!r.contains("points.skipped"), "{r}");
+    }
+
+    #[test]
+    fn counters_snapshot_is_sorted_and_complete() {
+        let m = Metrics::new();
+        m.incr("b.second", 2);
+        m.incr("a.first", 1);
+        m.incr("c.third", 3);
+        assert_eq!(
+            m.counters(),
+            vec![
+                ("a.first".to_string(), 1),
+                ("b.second".to_string(), 2),
+                ("c.third".to_string(), 3)
+            ]
+        );
     }
 
     #[test]

@@ -551,6 +551,30 @@ impl CacheKey {
         debug_assert!(shards > 0);
         (self.stable_hash() % shards.max(1) as u64) as usize
     }
+
+    /// Rendezvous (highest-random-weight) score of this key for the node
+    /// identified by `node_salt`: the cluster routing tier picks, for each
+    /// key, the member whose weight is largest.  Because each (key, node)
+    /// pair scores independently, adding or removing one member only moves
+    /// the keys that member wins or owned — the bounded-movement property
+    /// consistent-hash routing needs — and the score is a pure function of
+    /// the canonical key words, so every process computes the same owner.
+    pub fn rendezvous_weight(&self, node_salt: u64) -> u64 {
+        rendezvous_mix(self.stable_hash(), node_salt)
+    }
+}
+
+/// Mix a stable key hash with a per-node salt into a rendezvous weight.
+/// FNV-1a output has weak avalanche in its high bits, so the combination
+/// is run through a SplitMix64-style finalizer; equal inputs always give
+/// equal weights (run- and process-stable, like [`CacheKey::stable_hash`]).
+pub fn rendezvous_mix(key_hash: u64, node_salt: u64) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    mix(key_hash ^ mix(node_salt ^ 0x9E37_79B9_7F4A_7C15))
 }
 
 /// A full 15-D point: system configuration + application characteristics.
@@ -840,6 +864,27 @@ mod tests {
             }
         }
         assert!(shards.len() >= 2, "degenerate sharding: {shards:?}");
+    }
+
+    #[test]
+    fn rendezvous_weights_are_stable_and_salt_sensitive() {
+        let app = SpacePoint::default_point().app;
+        let key = CacheKey::new(&app, Objective::Performance, InstanceType::Cc2_8xlarge, 3);
+        // Pure function of (key, salt): recomputation never wobbles.
+        assert_eq!(key.rendezvous_weight(7), key.rendezvous_weight(7));
+        assert_eq!(key.rendezvous_weight(7), rendezvous_mix(key.stable_hash(), 7));
+        // Different salts must decorrelate, or every key would elect the
+        // same ring member.
+        let salts: std::collections::BTreeSet<u64> =
+            (0..16u64).map(|s| key.rendezvous_weight(s)).collect();
+        assert_eq!(salts.len(), 16, "salt collisions in rendezvous weights");
+        // And canonically-equal keys score identically under every salt.
+        let mut twisted = app;
+        twisted.io_procs = twisted.nprocs * 2; // normalizes back down
+        let other = CacheKey::new(&twisted, Objective::Performance, InstanceType::Cc2_8xlarge, 3);
+        for s in 0..8 {
+            assert_eq!(key.rendezvous_weight(s), other.rendezvous_weight(s));
+        }
     }
 
     #[test]

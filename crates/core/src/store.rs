@@ -771,6 +771,55 @@ impl PublishedSnapshot {
             collect_cost_usd: 0.0,
         }
     }
+
+    /// Wrap an in-memory training database as a self-describing snapshot,
+    /// e.g. for replicating a `--db`/`--dims`-booted model across serve
+    /// nodes.  Sample order is preserved (no canonicalization), so
+    /// [`Self::to_training_db`] round-trips to the exact input db and a
+    /// predictor refit from the snapshot is bit-identical to one fit on
+    /// the original database.
+    pub fn from_db(db: &TrainingDb, seed: u64, model: ModelKind) -> Self {
+        let campaign = fnv1a(
+            &db.points
+                .iter()
+                .flat_map(|p| point_bits(&SpacePoint { system: p.system, app: p.app }))
+                .collect::<Vec<u64>>(),
+        );
+        let samples: Vec<StoreSample> = db
+            .points
+            .iter()
+            .enumerate()
+            .map(|(index, point)| StoreSample::new(campaign, seed, index, 1, *point))
+            .collect();
+        let hash = hash_samples(&samples);
+        PublishedSnapshot { hash, seed, model, samples }
+    }
+
+    /// Verify the snapshot's self-description: recompute the content hash
+    /// over the carried samples and compare it to the declared one.  This
+    /// is the replication handshake — a node receiving a peer's snapshot
+    /// proves it holds exactly the sample set the hash names (and can then
+    /// refit the model deterministically from `(samples, seed, model)`)
+    /// without re-running the training campaign.  `origin` names where the
+    /// snapshot came from (a file path or a transport address) for the
+    /// error message.
+    pub fn verify(&self, origin: &str) -> Result<(), AcicError> {
+        let actual = hash_samples(&self.samples);
+        if actual != self.hash {
+            return Err(AcicError::Store {
+                path: origin.to_string(),
+                reason: format!(
+                    "snapshot content hash {actual:016x} does not match its self-described \
+                     {:016x} ({} samples, seed {}, model {})",
+                    self.hash,
+                    self.samples.len(),
+                    self.seed,
+                    model_code(self.model)
+                ),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Stable one-word encoding of a model kind for the snapshot header.
@@ -821,6 +870,37 @@ mod tests {
             cost_improvement: 0.5 + perf / 10.0,
         };
         StoreSample::new(campaign, 42, i, 1, tp)
+    }
+
+    #[test]
+    fn from_db_round_trips_and_verifies() {
+        let points: Vec<TrainingPoint> = (0..5).map(|i| sample(i, 1, i as f64).point).collect();
+        let db = TrainingDb { points: points.clone(), collect_secs: 1.0, collect_cost_usd: 2.0 };
+        let snap = PublishedSnapshot::from_db(&db, 7, ModelKind::Cart);
+        snap.verify("test").expect("freshly built snapshot verifies");
+        assert_eq!(snap.hash, hash_samples(&snap.samples));
+        // Order preserved: the round-tripped db is the input db, point for
+        // point, so a refit from the snapshot sees identical folds.
+        assert_eq!(snap.to_training_db().points, points);
+        // And the rendered form parses back to the same identity.
+        let back = PublishedSnapshot::parse(&snap.render()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn verify_rejects_a_tampered_sample_set() {
+        let points: Vec<TrainingPoint> = (0..3).map(|i| sample(i, 1, i as f64).point).collect();
+        let db = TrainingDb { points, collect_secs: 0.0, collect_cost_usd: 0.0 };
+        let mut snap = PublishedSnapshot::from_db(&db, 7, ModelKind::Cart);
+        snap.samples[1].point.perf_improvement += 0.25;
+        let err = snap.verify("loopback://n2").unwrap_err();
+        match err {
+            AcicError::Store { path, reason } => {
+                assert_eq!(path, "loopback://n2");
+                assert!(reason.contains("does not match"), "{reason}");
+            }
+            other => panic!("want Store error, got {other:?}"),
+        }
     }
 
     #[test]

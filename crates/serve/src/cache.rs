@@ -6,7 +6,11 @@
 //! stop-the-world flush; stale generations simply age out of the LRU.
 //! The map is sharded by the key's run-stable hash so concurrent workers
 //! rarely contend on the same lock, and each shard runs its own LRU
-//! bounded at `capacity / shards` entries.
+//! bounded at `capacity / shards` entries.  Eviction is generation-aware:
+//! when an insert under snapshot version `v` needs a victim, entries from
+//! generations older than `v` (superseded — unreachable to any future
+//! lookup at `v`) are evicted first, in LRU order among themselves; only
+//! a shard holding nothing stale falls back to plain LRU.
 
 use acic::{CacheKey, SystemConfig};
 use parking_lot::Mutex;
@@ -45,9 +49,20 @@ impl Shard {
         self.tick += 1;
         let tick = self.tick;
         if self.map.len() >= capacity && !self.map.contains_key(&key) {
-            // Evict the least-recently-used entry.  Ticks are unique per
-            // shard, so the victim is unambiguous.
-            if let Some(victim) = self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k)
+            // Victim choice is generation-aware: an entry from a snapshot
+            // generation older than the one being inserted is superseded —
+            // no future lookup under the new generation can hit it — so
+            // any such entry is evicted (LRU among them) before a
+            // same-generation entry is considered.  Only when every
+            // resident entry is at or above the inserted generation does
+            // plain LRU pick the victim.  Ticks are unique per shard, so
+            // the victim is unambiguous either way.
+            let inserted_version = key.1;
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|((_, v), e)| (*v >= inserted_version, e.last_used))
+                .map(|(k, _)| *k)
             {
                 self.map.remove(&victim);
             }
@@ -191,6 +206,42 @@ mod tests {
         c.insert(k, 2, result(2.0));
         assert_eq!(c.get(&k, 1).unwrap()[0].1, 1.0, "v1 entry still intact until evicted");
         assert_eq!(c.get(&k, 2).unwrap()[0].1, 2.0);
+    }
+
+    #[test]
+    fn superseded_generations_are_evicted_before_in_generation_lru_victims() {
+        // Single shard at capacity 4, filled across two snapshot
+        // generations.  The gen-1 entries are deliberately made the *most*
+        // recently used, so plain LRU would sacrifice the colder gen-2
+        // entries — the versioned policy must instead clear out the
+        // superseded generation first.
+        let c = ResultCache::new(4, 1);
+        let (a, b, x, y, z, w) = (key(32, 1), key(64, 2), key(128, 3), key(256, 4), key(32, 5), key(64, 6));
+        c.insert(a, 1, result(1.0));
+        c.insert(b, 1, result(1.1));
+        c.insert(x, 2, result(2.0));
+        c.insert(y, 2, result(2.1));
+        // Touch the gen-1 entries: hottest by LRU, stale by generation.
+        assert!(c.get(&a, 1).is_some());
+        assert!(c.get(&b, 1).is_some());
+        // Two more gen-2 inserts must claim both gen-1 slots (LRU order
+        // within the stale class: a before b)...
+        c.insert(z, 2, result(2.2));
+        assert!(c.get(&a, 1).is_none(), "stale gen-1 LRU entry evicted first");
+        assert!(c.get(&b, 1).is_some(), "stale class evicts in LRU order");
+        c.insert(w, 2, result(2.3));
+        assert!(c.get(&b, 1).is_none(), "second stale entry evicted next");
+        for k in [&x, &y, &z, &w] {
+            assert!(c.get(k, 2).is_some(), "no in-generation entry was sacrificed");
+        }
+        // ...and only once no superseded entry remains does LRU run within
+        // the current generation (x is now coldest after the sweep above).
+        let fresh = key(128, 7);
+        let x_last_used_refreshed = c.get(&x, 2).is_some(); // touch x: now y is coldest
+        assert!(x_last_used_refreshed);
+        c.insert(fresh, 2, result(2.4));
+        assert!(c.get(&y, 2).is_none(), "in-generation LRU victim once no stale entries remain");
+        assert!(c.get(&x, 2).is_some());
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Consistent-hash routing: which cluster member owns a [`CacheKey`].
+//!
+//! The ring uses rendezvous (highest-random-weight) hashing over the
+//! key's run-stable FNV hash ([`CacheKey::stable_hash`]) mixed with a
+//! per-node salt ([`acic::space::rendezvous_mix`]).  Every `(key, node)`
+//! pair scores independently, which gives the two properties the serve
+//! tier needs:
+//!
+//! * **Determinism** — ownership is a pure function of (canonical key,
+//!   member set).  Any process, at any time, over any construction order
+//!   of the same membership, routes a key to the same node; replaying a
+//!   trace therefore shards identically on every run.
+//! * **Bounded movement** — removing a member only moves the keys that
+//!   member owned (its ~K/N share of K keys); adding one only moves the
+//!   keys the newcomer now wins (~K/(N+1)).  No unrelated key changes
+//!   owner, so caches on surviving nodes stay warm across membership
+//!   changes.
+
+use acic::space::rendezvous_mix;
+use acic::{AcicError, CacheKey};
+
+/// A cluster member's identity.  Ids are small dense integers assigned at
+/// cluster construction; the id — not the slot order — is what the
+/// routing salt is derived from, so a ring built from any permutation of
+/// the same members routes identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl NodeId {
+    /// The per-node rendezvous salt: a fixed avalanche of the id, so
+    /// nearby ids (0, 1, 2, …) still produce decorrelated weight streams.
+    pub fn salt(self) -> u64 {
+        rendezvous_mix(0x6163_6963_2d63_6c75, self.0 as u64) // "acic-clu"
+    }
+}
+
+/// The routing table: a sorted, deduplicated member set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    members: Vec<NodeId>,
+}
+
+impl Ring {
+    /// Build a ring over `members`.  Order does not matter (the set is
+    /// canonicalized); an empty or duplicate-bearing membership is a typed
+    /// error — a ring that cannot route, or routes ambiguously, must not
+    /// exist.
+    pub fn new(members: impl IntoIterator<Item = NodeId>) -> Result<Self, AcicError> {
+        let mut members: Vec<NodeId> = members.into_iter().collect();
+        members.sort_unstable();
+        let before = members.len();
+        members.dedup();
+        if members.len() != before {
+            return Err(AcicError::Invalid("cluster ring membership contains duplicate node ids".into()));
+        }
+        if members.is_empty() {
+            return Err(AcicError::Invalid("cluster ring needs at least one member".into()));
+        }
+        Ok(Self { members })
+    }
+
+    /// The canonical (sorted) member set.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Rings are never empty (see [`Ring::new`]).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// The member owning `key`: the highest rendezvous weight, ties broken
+    /// toward the smaller id (ties require a 64-bit weight collision, but
+    /// the rule keeps ownership total and deterministic regardless).
+    pub fn owner(&self, key: &CacheKey) -> NodeId {
+        self.owner_of_hash(key.stable_hash())
+    }
+
+    /// [`Ring::owner`] from a precomputed [`CacheKey::stable_hash`].
+    pub fn owner_of_hash(&self, key_hash: u64) -> NodeId {
+        let mut best = self.members[0];
+        let mut best_weight = rendezvous_mix(key_hash, best.salt());
+        for &m in &self.members[1..] {
+            let w = rendezvous_mix(key_hash, m.salt());
+            if w > best_weight {
+                best = m;
+                best_weight = w;
+            }
+        }
+        best
+    }
+
+    /// A new ring with `node` added (no-op error if already present).
+    pub fn with_member(&self, node: NodeId) -> Result<Self, AcicError> {
+        Self::new(self.members.iter().copied().chain(std::iter::once(node)))
+    }
+
+    /// A new ring with `node` removed; removing the last member (or a
+    /// non-member) is an error.
+    pub fn without_member(&self, node: NodeId) -> Result<Self, AcicError> {
+        if !self.contains(node) {
+            return Err(AcicError::Invalid(format!("node {node} is not a ring member")));
+        }
+        Self::new(self.members.iter().copied().filter(|&m| m != node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic::space::SpacePoint;
+    use acic::Objective;
+    use acic_cloudsim::instance::InstanceType;
+    use acic_cloudsim::units::mib;
+
+    fn keys(n: usize) -> Vec<CacheKey> {
+        let base = SpacePoint::default_point().app;
+        (0..n)
+            .map(|i| {
+                let mut app = base;
+                app.data_size = mib(1.0 + i as f64);
+                app.iterations = 1 + i % 7;
+                app.collective = i % 2 == 0;
+                CacheKey::new(
+                    &app,
+                    if i % 3 == 0 { Objective::Cost } else { Objective::Performance },
+                    InstanceType::Cc2_8xlarge,
+                    1 + i % 5,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_rejects_empty_and_duplicate_memberships() {
+        assert!(matches!(Ring::new([]), Err(AcicError::Invalid(_))));
+        assert!(matches!(Ring::new([NodeId(1), NodeId(1)]), Err(AcicError::Invalid(_))));
+        let r = Ring::new([NodeId(2), NodeId(0), NodeId(1)]).unwrap();
+        assert_eq!(r.members(), &[NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn ownership_is_order_independent_and_total() {
+        let a = Ring::new([NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        let b = Ring::new([NodeId(3), NodeId(1), NodeId(0), NodeId(2)]).unwrap();
+        for k in keys(128) {
+            let owner = a.owner(&k);
+            assert_eq!(owner, b.owner(&k), "membership order changed routing");
+            assert!(a.contains(owner));
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_every_member() {
+        let ring = Ring::new((0..4).map(NodeId)).unwrap();
+        let mut per_node = std::collections::BTreeMap::new();
+        for k in keys(256) {
+            *per_node.entry(ring.owner(&k)).or_insert(0usize) += 1;
+        }
+        assert_eq!(per_node.len(), 4, "a member owns nothing: {per_node:?}");
+        for (node, n) in &per_node {
+            assert!(*n >= 256 / 16, "node {node} owns only {n}/256 keys: {per_node:?}");
+        }
+    }
+
+    #[test]
+    fn removal_moves_only_the_removed_members_keys() {
+        let full = Ring::new((0..4).map(NodeId)).unwrap();
+        let gone = NodeId(2);
+        let reduced = full.without_member(gone).unwrap();
+        for k in keys(256) {
+            let before = full.owner(&k);
+            let after = reduced.owner(&k);
+            if before != gone {
+                assert_eq!(before, after, "a surviving member's key moved on removal");
+            } else {
+                assert_ne!(after, gone);
+            }
+        }
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let ring = Ring::new([NodeId(5)]).unwrap();
+        for k in keys(32) {
+            assert_eq!(ring.owner(&k), NodeId(5));
+        }
+        assert!(ring.without_member(NodeId(5)).is_err(), "cannot empty a ring");
+        assert!(ring.without_member(NodeId(4)).is_err(), "cannot remove a non-member");
+    }
+}

@@ -19,6 +19,12 @@
 //!   to shards by stable key hash, drained in batches that each pin one
 //!   snapshot, and accounted per stage (queue wait / cache hit / predict)
 //!   in [`acic::Metrics`] latency histograms.
+//! * [`cluster`] — the multi-node tier over N servers: rendezvous-hash
+//!   routing of canonical keys, verified snapshot replication (peers prove
+//!   a [`acic::PublishedSnapshot`] replica against its content hash and
+//!   refit deterministically instead of re-training), kill / rejoin with
+//!   generation continuity, and a cluster-in-a-process replay harness
+//!   that proves responses are bit-identical across node counts.
 //!
 //! Responses are deterministic: the payload is a pure function of
 //! (snapshot version, canonical key); concurrency only changes timing.
@@ -26,11 +32,13 @@
 //! closed-loop load generator.
 
 pub mod cache;
+pub mod cluster;
 pub mod queue;
 pub mod server;
 pub mod snapshot;
 
 pub use cache::{CachedTopK, ResultCache};
+pub use cluster::{Cluster, ClusterClient, ClusterConfig, ClusterError, NodeId, Ring};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Pending, Request, Response, ServeConfig, ServeError, ServeHandle, Server};
 pub use snapshot::{ModelSnapshot, SnapshotStore};
@@ -51,7 +59,8 @@ pub fn answer_single_shot(
     request: Request,
     metrics: &Metrics,
 ) -> Result<Response, ServeError> {
-    let server = Server::start(predictor.clone(), db_points, ServeConfig::single_shot(), metrics.clone());
+    let server = Server::start(predictor.clone(), db_points, ServeConfig::single_shot(), metrics.clone())
+        .expect("single_shot config is valid");
     let response = server.handle().query(request);
     server.shutdown();
     response

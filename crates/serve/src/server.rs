@@ -66,6 +66,30 @@ impl ServeConfig {
     pub fn single_shot() -> Self {
         Self { workers: 1, queue_depth: 1, batch: 1, cache_capacity: 8, cache_shards: 1, ..Self::default() }
     }
+
+    /// Reject configurations that cannot serve: a pool with no workers
+    /// never answers, a zero-depth queue admits nothing, and a cache with
+    /// no shards has nowhere to store results.  [`Server::start`] calls
+    /// this, so an invalid config is a typed [`acic::AcicError::Invalid`]
+    /// naming the offending field — not a panic, a silent clamp, or a
+    /// server that hangs its first client.
+    pub fn validate(&self) -> Result<(), acic::AcicError> {
+        let reject = |field: &str, got: usize| {
+            Err(acic::AcicError::Invalid(format!(
+                "ServeConfig.{field} must be at least 1 (got {got})"
+            )))
+        };
+        if self.workers == 0 {
+            return reject("workers", self.workers);
+        }
+        if self.queue_depth == 0 {
+            return reject("queue_depth", self.queue_depth);
+        }
+        if self.cache_shards == 0 {
+            return reject("cache_shards", self.cache_shards);
+        }
+        Ok(())
+    }
 }
 
 /// One recommendation query.
@@ -212,11 +236,32 @@ pub struct Server {
 
 impl Server {
     /// Start a server over an already-fitted predictor (snapshot v1) with
-    /// `db_points` recorded for diagnostics.
-    pub fn start(predictor: Predictor, db_points: usize, cfg: ServeConfig, metrics: Metrics) -> Self {
-        let cfg = ServeConfig { workers: cfg.workers.max(1), ..cfg };
+    /// `db_points` recorded for diagnostics.  Fails with a typed
+    /// [`acic::AcicError::Invalid`] when the config cannot serve (see
+    /// [`ServeConfig::validate`]).
+    pub fn start(
+        predictor: Predictor,
+        db_points: usize,
+        cfg: ServeConfig,
+        metrics: Metrics,
+    ) -> Result<Self, acic::AcicError> {
+        Self::start_at(predictor, db_points, cfg, metrics, 1)
+    }
+
+    /// [`Self::start`], but the first snapshot carries generation id
+    /// `version` instead of 1.  A cluster node rejoining an established
+    /// cluster starts here so its version ids stay aligned with the
+    /// generation its peers are already serving.
+    pub fn start_at(
+        predictor: Predictor,
+        db_points: usize,
+        cfg: ServeConfig,
+        metrics: Metrics,
+        version: u64,
+    ) -> Result<Self, acic::AcicError> {
+        cfg.validate()?;
         let shared = Arc::new(Shared {
-            store: SnapshotStore::new(predictor, cfg.instance_type, db_points),
+            store: SnapshotStore::with_version(predictor, cfg.instance_type, db_points, version),
             queues: (0..cfg.workers).map(|_| Arc::new(BoundedQueue::new(cfg.queue_depth))).collect(),
             cache: ResultCache::new(cfg.cache_capacity, cfg.cache_shards),
             metrics,
@@ -231,11 +276,11 @@ impl Server {
                     .expect("spawn serve worker")
             })
             .collect();
-        Self { shared, workers }
+        Ok(Self { shared, workers })
     }
 
     /// Start a server from a bootstrapped [`Acic`] instance.
-    pub fn from_acic(acic: &Acic, cfg: ServeConfig, metrics: Metrics) -> Self {
+    pub fn from_acic(acic: &Acic, cfg: ServeConfig, metrics: Metrics) -> Result<Self, acic::AcicError> {
         Self::start(acic.predictor.clone(), acic.db.len(), cfg, metrics)
     }
 
@@ -427,7 +472,7 @@ mod tests {
     #[test]
     fn answers_match_the_direct_predictor_path() {
         let (p, n) = predictor(3, 4);
-        let server = Server::start(p.clone(), n, ServeConfig::default(), Metrics::new());
+        let server = Server::start(p.clone(), n, ServeConfig::default(), Metrics::new()).unwrap();
         let h = server.handle();
         for k in [1, 3, 28] {
             let resp = h.query(request(k)).unwrap();
@@ -446,7 +491,7 @@ mod tests {
     #[test]
     fn repeated_queries_hit_the_cache() {
         let (p, n) = predictor(3, 3);
-        let server = Server::start(p, n, ServeConfig::default(), Metrics::new());
+        let server = Server::start(p, n, ServeConfig::default(), Metrics::new()).unwrap();
         let h = server.handle();
         let first = h.query(request(3)).unwrap();
         assert!(!first.cache_hit);
@@ -466,7 +511,7 @@ mod tests {
     #[test]
     fn distinct_queries_are_distinct_entries() {
         let (p, n) = predictor(3, 3);
-        let server = Server::start(p, n, ServeConfig::default(), Metrics::new());
+        let server = Server::start(p, n, ServeConfig::default(), Metrics::new()).unwrap();
         let h = server.handle();
         let a = h.query(request(3)).unwrap();
         let mut other = request(3);
@@ -481,7 +526,7 @@ mod tests {
     #[test]
     fn pipelined_submits_preserve_request_identity() {
         let (p, n) = predictor(4, 3);
-        let server = Server::start(p.clone(), n, ServeConfig { workers: 2, ..Default::default() }, Metrics::new());
+        let server = Server::start(p.clone(), n, ServeConfig { workers: 2, ..Default::default() }, Metrics::new()).unwrap();
         let h = server.handle();
         let ks: Vec<usize> = (1..=10).collect();
         let pending: Vec<Pending> =
@@ -505,7 +550,7 @@ mod tests {
             service_stall: Duration::from_millis(10),
             ..Default::default()
         };
-        let server = Server::start(p, n, cfg, Metrics::new());
+        let server = Server::start(p, n, cfg, Metrics::new()).unwrap();
         let h = server.handle();
         let mut pending = Vec::new();
         let mut shed = 0;
@@ -531,7 +576,7 @@ mod tests {
     fn publish_swaps_the_serving_model() {
         let (p1, n1) = predictor(3, 3);
         let (p2, n2) = predictor(11, 4);
-        let server = Server::start(p1.clone(), n1, ServeConfig::default(), Metrics::new());
+        let server = Server::start(p1.clone(), n1, ServeConfig::default(), Metrics::new()).unwrap();
         let h = server.handle();
         let before = h.query(request(5)).unwrap();
         assert_eq!(before.snapshot_version, 1);
@@ -552,7 +597,7 @@ mod tests {
     #[test]
     fn shutdown_drains_queued_work_and_refuses_new() {
         let (p, n) = predictor(3, 3);
-        let server = Server::start(p, n, ServeConfig::default(), Metrics::new());
+        let server = Server::start(p, n, ServeConfig::default(), Metrics::new()).unwrap();
         let h = server.handle();
         let pend = h.submit_blocking(request(2)).unwrap();
         server.shutdown();
@@ -562,10 +607,49 @@ mod tests {
     }
 
     #[test]
+    fn zero_sized_configs_are_rejected_with_typed_errors_naming_the_field() {
+        // Regression: a zero-worker pool used to be silently clamped to 1;
+        // a zero-depth queue or zero-shard cache would have panicked (or
+        // hung the first client) deep inside construction.  All three must
+        // now fail fast at Server::start with a typed error naming the
+        // rejected field.
+        let (p, n) = predictor(3, 3);
+        for (cfg, field) in [
+            (ServeConfig { workers: 0, ..Default::default() }, "workers"),
+            (ServeConfig { queue_depth: 0, ..Default::default() }, "queue_depth"),
+            (ServeConfig { cache_shards: 0, ..Default::default() }, "cache_shards"),
+        ] {
+            assert!(matches!(cfg.validate(), Err(acic::AcicError::Invalid(_))), "{field}");
+            match Server::start(p.clone(), n, cfg, Metrics::new()) {
+                Err(acic::AcicError::Invalid(msg)) => {
+                    assert!(
+                        msg.contains(&format!("ServeConfig.{field}")),
+                        "error must name the rejected field: {msg:?}"
+                    );
+                    assert!(msg.contains("(got 0)"), "error must show the rejected value: {msg:?}");
+                }
+                other => panic!("{field} = 0 must be a typed Invalid error, got {other:?}"),
+            }
+        }
+        // The boundary value is accepted: 1 of everything serves.
+        let minimal = ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            batch: 1,
+            cache_capacity: 1,
+            cache_shards: 1,
+            ..Default::default()
+        };
+        let server = Server::start(p, n, minimal, Metrics::new()).unwrap();
+        assert!(server.handle().query(request(1)).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
     fn metrics_record_per_stage_latencies() {
         let (p, n) = predictor(3, 3);
         let m = Metrics::new();
-        let server = Server::start(p, n, ServeConfig::default(), m.clone());
+        let server = Server::start(p, n, ServeConfig::default(), m.clone()).unwrap();
         let h = server.handle();
         h.query(request(3)).unwrap();
         h.query(request(3)).unwrap();

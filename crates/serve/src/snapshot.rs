@@ -73,9 +73,23 @@ pub struct SnapshotStore {
 impl SnapshotStore {
     /// Create a store whose first generation (version 1) wraps `predictor`.
     pub fn new(predictor: Predictor, instance_type: InstanceType, db_points: usize) -> Self {
+        Self::with_version(predictor, instance_type, db_points, 1)
+    }
+
+    /// Create a store whose first generation carries an explicit version
+    /// id.  A serve node rejoining a cluster mid-life starts its local
+    /// store at the cluster's current generation, so version ids stay
+    /// comparable across nodes (and across a kill → rejoin) even though
+    /// each node owns its own snapshot slot.
+    pub fn with_version(
+        predictor: Predictor,
+        instance_type: InstanceType,
+        db_points: usize,
+        version: u64,
+    ) -> Self {
         Self {
             slot: RwLock::new(Arc::new(ModelSnapshot {
-                version: 1,
+                version: version.max(1),
                 predictor,
                 instance_type,
                 db_points,

@@ -68,7 +68,7 @@ fn concurrent_queries_see_exactly_one_generation() {
         [Duration::ZERO, Duration::from_micros(100), Duration::from_micros(500)].iter().enumerate()
     {
         let cfg = ServeConfig { workers: 4, queue_depth: 64, batch: 4, ..Default::default() };
-        let server = Server::start(p1.clone(), 0, cfg, Metrics::new());
+        let server = Server::start(p1.clone(), 0, cfg, Metrics::new()).unwrap();
         let h = server.handle();
 
         // Sanity before any swap: generation 1 everywhere.
@@ -166,7 +166,7 @@ fn swap_to_identical_predictor_is_invisible_in_payloads() {
     let p = train(7, 3);
     let reqs = probe_requests();
     let server =
-        Server::start(p.clone(), 0, ServeConfig { workers: 2, ..Default::default() }, Metrics::new());
+        Server::start(p.clone(), 0, ServeConfig { workers: 2, ..Default::default() }, Metrics::new()).unwrap();
     let h = server.handle();
     let before: Vec<_> = reqs.iter().map(|r| h.query(*r).unwrap()).collect();
     server.publish(train(7, 3), 0);

@@ -3,9 +3,11 @@
 # compiled-inference, and simulator-core benchmark artifacts (BENCH_cart.json,
 # BENCH_predict.json, and BENCH_sim.json at the repo root), a fault-injection
 # training sweep that must complete with zero skipped points (replayed
-# byte-identically on the reference simulator core), and the serve smoke gate
+# byte-identically on the reference simulator core), the serve smoke gate
 # (replay determinism across worker counts and across scoring engines, plus
-# BENCH_serve.json).
+# BENCH_serve.json), and the cluster gate (trace replay byte-identical across
+# 1/2/4 nodes, verified snapshot replication, a kill → rejoin run, and
+# BENCH_cluster.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -64,6 +66,31 @@ cmp target/tier1-serve-w1.txt target/tier1-serve-oracle.txt
 rm -f target/tier1-train-db.txt target/tier1-serve-w1.txt target/tier1-serve-w2.txt \
   target/tier1-serve-oracle.txt
 
+# Cluster gate: a recorded trace replayed through 1-, 2-, and 4-node
+# clusters-in-a-process (with a mid-replay generation republish) must be
+# byte-identical on stdout (digest + answered/shed) AND in the full
+# per-request payload files, every snapshot replica must verify, and one
+# kill → rejoin run must complete with deterministic sheds.
+./target/release/acic serve --trace-out target/tier1-cluster.trace --trace-len 20000
+for n in 1 2 4; do
+  ./target/release/acic serve --trace target/tier1-cluster.trace --nodes "$n" \
+    --dims 3 --workers 2 --swap-at 10000 --replay-out "target/tier1-cluster-n$n.replay" \
+    > "target/tier1-cluster-n$n.txt" 2> "target/tier1-cluster-n$n.log"
+done
+cmp target/tier1-cluster-n1.txt target/tier1-cluster-n2.txt
+cmp target/tier1-cluster-n1.txt target/tier1-cluster-n4.txt
+cmp target/tier1-cluster-n1.replay target/tier1-cluster-n2.replay
+cmp target/tier1-cluster-n1.replay target/tier1-cluster-n4.replay
+grep -q "shed=0" target/tier1-cluster-n1.txt
+grep -q "(0 failures)" target/tier1-cluster-n4.log
+./target/release/acic serve --trace target/tier1-cluster.trace --nodes 4 \
+  --dims 3 --workers 2 --kill-node 1 \
+  > target/tier1-cluster-kill.txt 2> target/tier1-cluster-kill.log
+grep -q "(0 failures)" target/tier1-cluster-kill.log
+rm -f target/tier1-cluster.trace target/tier1-cluster-n*.txt \
+  target/tier1-cluster-n*.log target/tier1-cluster-n*.replay \
+  target/tier1-cluster-kill.txt target/tier1-cluster-kill.log
+
 # Store gate: the durable train → publish → serve lifecycle must survive a
 # mid-ingest kill and stay bit-deterministic end to end.
 ACIC=./target/release/acic
@@ -113,3 +140,13 @@ rm -rf "$STORE" target/tier1-store.journal target/tier1-snap*.txt \
 # Serve benchmark artifact (BENCH_serve.json at the repo root); its own
 # asserts gate throughput scaling, shedding, and hot-swap correctness.
 cargo run --release --offline -p acic-bench --bin bench_serve
+
+# Cluster benchmark artifact (BENCH_cluster.json at the repo root): replays
+# a million-request trace bit-identically across 1/2/4 nodes, proves the
+# kill → rejoin → republish run equals the clean run over the non-shed
+# requests, and gates >= 2x aggregate throughput at 4 nodes (the binary
+# asserts all of it; the greps pin the artifact's verification fields).
+cargo run --release --offline -p acic-bench --bin bench_cluster
+grep -q '"replay_digests_equal": true' BENCH_cluster.json
+grep -q '"kill_rejoin_digest_match": true' BENCH_cluster.json
+grep -q '"verify_failures": 0' BENCH_cluster.json
