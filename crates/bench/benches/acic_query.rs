@@ -4,8 +4,8 @@
 //! data collection cost" (§4.2) — plus the PB-guided walk alternative.
 
 use acic::profile::app_point_from;
-use acic::walk::guided_walk;
 use acic::{Acic, Objective, Trainer};
+use acic_search::guided_walk;
 use acic_apps::{profile, AppModel, MadBench2};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

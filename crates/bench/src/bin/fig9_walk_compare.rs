@@ -12,8 +12,8 @@
 
 use acic::objective::cost_saving_pct;
 use acic::profile::app_point_from;
-use acic::walk::{guided_walk, random_walk};
 use acic::{Objective, Trainer};
+use acic_search::{guided_walk, random_walk};
 use acic_bench::{
     acic_pick_metric, evaluation_runs, headline_acic, rule, spectrum_for, EXPERIMENT_SEED,
 };

@@ -27,6 +27,9 @@ USAGE:
                   [--faults none|paper-rate|PROB[,PENALTY[,ABORT]]]
                   [--retries N] [--resume JOURNAL] [--report] [--allow-skips]
                   [--store DIR [--compact]] [--sim-engine event|reference]
+                  [--search pb|random|bandit|halving [--budget N] [--batch N]
+                   [--plateau N] [--goal perf|cost] [--warm-start DIR]
+                   [--plan-out FILE]]
         Collect an IOR training database over the top N ranked dimensions
         and optionally save it as shareable text.  --faults injects the
         paper's observed connection-loss rate (runs are retried on derived
@@ -34,7 +37,15 @@ USAGE:
         finished point to an append-only journal and restarts bit-identically
         from it; --report prints the collection report and metrics; --store
         ingests the campaign into the durable training store (idempotent:
-        re-ingesting a resumed campaign appends nothing new).
+        re-ingesting a resumed campaign appends nothing new) and answers
+        already-measured configurations from it instead of re-simulating.
+        --search replaces the exhaustive sweep with an adaptive campaign:
+        a deterministic planner (PB-ranked opening book, UCB bandit over a
+        CART surrogate, or successive halving) proposes measurement batches
+        until the --budget (default: 10% of the grid) or --plateau rule
+        stops it; --warm-start seeds the surrogate with another store's
+        samples remapped in feature space; --plan-out writes the executed,
+        byte-diffable plan.
 
   acic publish    --store DIR --out FILE [--seed N] [--model cart|forest|knn]
                   [--force] [--no-compact] [--report]

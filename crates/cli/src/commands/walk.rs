@@ -4,8 +4,8 @@ use crate::args::Args;
 use crate::commands::goal;
 use crate::registry::app_by_name;
 use acic::profile::app_point_from;
-use acic::walk::{guided_walk, random_walk};
 use acic::Trainer;
+use acic_search::{guided_walk, random_walk};
 use acic_apps::profile;
 
 pub fn run(args: &Args) -> Result<(), String> {

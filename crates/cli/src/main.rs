@@ -7,6 +7,7 @@
 //! ```text
 //! acic screen     [--goal perf|cost] [--seed N]
 //! acic train      [--dims N] [--seed N] [--out db.txt] [--store DIR]
+//!                 [--search pb|bandit|halving --budget N [--warm-start DIR]]
 //! acic publish    --store DIR --out snap.txt [--model ..] [--force]
 //! acic recommend  --app NAME --procs N [--db db.txt|--snapshot FILE|--dims N] [--goal ..] [--top K]
 //! acic profile    --app NAME --procs N [--trace file] [--emit-trace file]

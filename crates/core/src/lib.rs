@@ -25,7 +25,8 @@
 //! 4. [`predictor`] — CART models (one per objective) trained on the
 //!    database; a query joins the application's characteristics with every
 //!    candidate system configuration and returns the top-k list.
-//! 5. [`walk`] — PB-guided space walking ⟨S, s0, δ⟩ (paper §4.3): the
+//! 5. PB-guided space walking ⟨S, s0, δ⟩ (paper §4.3) lives in the
+//!    `acic-search` crate alongside the adaptive campaign planners: the
 //!    low-training-budget alternative that greedily fixes one dimension at
 //!    a time in PB-rank order, plus the random-walk strawman of Figure 9.
 //! 6. [`profile`] — adapter from the `acic-apps` profiler output to a
@@ -55,7 +56,6 @@ pub mod store;
 pub mod sweep;
 pub mod training;
 pub mod verify;
-pub mod walk;
 
 pub use crate::acic::{Acic, Recommendation};
 pub use candidates::CandidateMatrix;
@@ -65,6 +65,6 @@ pub use obs::Metrics;
 pub use predictor::Predictor;
 pub use resilience::{Collection, CollectionReport, PointProvenance, RetryPolicy, SkippedPoint};
 pub use space::{AppPoint, CacheKey, ParamId, SystemConfig};
-pub use store::{PublishedSnapshot, Store, StoreSample};
-pub use training::{CollectOptions, Trainer, TrainingDb, TrainingPoint};
+pub use store::{PublishedSnapshot, SampleLookup, Store, StoreSample};
+pub use training::{point_key, CollectOptions, Trainer, TrainingDb, TrainingPoint};
 pub use verify::{verify_top_k, Verification, VerifiedCandidate};

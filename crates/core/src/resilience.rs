@@ -100,6 +100,11 @@ pub struct CollectionReport {
     pub completed: usize,
     /// Points restored from a checkpoint journal instead of re-run.
     pub resumed: usize,
+    /// Points answered from the durable store's canonical sample index
+    /// (lookup-before-measure) — zero simulated runs, zero baselines.
+    /// Store hits also count in `completed`; `completed - store_hits` is
+    /// the number of points actually simulated this session.
+    pub store_hits: usize,
     /// Points abandoned after retries/budget (including journaled skips).
     pub skipped: Vec<SkippedPoint>,
     /// Per-observation provenance, parallel to the collected database.
@@ -136,6 +141,7 @@ impl CollectionReport {
         writeln!(s, "  points planned                       {}", self.planned).unwrap();
         writeln!(s, "  points completed                     {}", self.completed).unwrap();
         writeln!(s, "  points resumed from journal          {}", self.resumed).unwrap();
+        writeln!(s, "  points answered from store           {}", self.store_hits).unwrap();
         writeln!(s, "  points skipped                       {}", self.skipped.len()).unwrap();
         writeln!(s, "  runs retried                         {}", self.retries).unwrap();
         writeln!(s, "  runs aborted by faults               {}", self.aborts).unwrap();

@@ -61,7 +61,7 @@ use crate::space::SpacePoint;
 use crate::training::{fnv1a, point_bits, point_from_fields, point_to_line, TrainingDb,
                       TrainingPoint};
 use acic_cart::ModelKind;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -168,6 +168,58 @@ pub fn canonicalize(mut samples: Vec<StoreSample>) -> Vec<StoreSample> {
     samples.sort_by_key(order_key);
     samples.dedup_by_key(|s| s.key);
     samples
+}
+
+/// An index of canonical samples by configuration key: the trainer's
+/// lookup-before-measure path ([`crate::training::CollectOptions::lookup`])
+/// and the adaptive planners answer already-measured points from this
+/// instead of re-simulating them.  Built from a canonical sample set, so
+/// lookups are order-independent: whichever ingest order produced the
+/// store, the same key maps to the same winning sample.
+#[derive(Debug, Clone, Default)]
+pub struct SampleLookup {
+    by_key: BTreeMap<u64, StoreSample>,
+}
+
+impl SampleLookup {
+    /// Index `samples` by configuration key (canonicalizing first, so a
+    /// non-canonical batch still yields the deterministic winner per key).
+    pub fn from_samples(samples: Vec<StoreSample>) -> Self {
+        let mut by_key = BTreeMap::new();
+        for s in canonicalize(samples) {
+            by_key.insert(s.key, s);
+        }
+        Self { by_key }
+    }
+
+    /// Fold another lookup in; where both know a key, the canonical
+    /// (minimum [`order_key`]) winner is kept, exactly as if the two
+    /// underlying sample sets had been canonicalized together.
+    pub fn merge(&mut self, other: SampleLookup) {
+        for (key, s) in other.by_key {
+            match self.by_key.get(&key) {
+                Some(have) if order_key(have) <= order_key(&s) => {}
+                _ => {
+                    self.by_key.insert(key, s);
+                }
+            }
+        }
+    }
+
+    /// The winning sample for a configuration key, if any.
+    pub fn get(&self, key: u64) -> Option<&StoreSample> {
+        self.by_key.get(&key)
+    }
+
+    /// Number of distinct configuration keys indexed.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
 }
 
 /// FNV-1a over the rendered sample lines (newline-terminated), the store's
@@ -397,6 +449,12 @@ impl Store {
     /// Generation identity of the canonical sample set.
     pub fn canonical_hash(&self) -> u64 {
         hash_samples(&self.canonical())
+    }
+
+    /// Index the canonical sample set by configuration key for
+    /// lookup-before-measure (see [`SampleLookup`]).
+    pub fn lookup_index(&self) -> SampleLookup {
+        SampleLookup::from_samples(self.samples.clone())
     }
 
     /// Materialize the canonical set as a training database.  Collection

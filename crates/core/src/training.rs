@@ -113,6 +113,19 @@ pub struct CollectOptions<'a> {
     /// Return the first unrecoverable point's error instead of recording
     /// skips (the legacy `collect_points` behavior).
     pub strict: bool,
+    /// Collect only these indices of `points` (adaptive planners measure
+    /// batches through this).  The campaign identity — and therefore every
+    /// per-point seed and journal fingerprint — stays that of the *full*
+    /// point list, so a subset measurement is bit-identical to the same
+    /// point measured by an exhaustive campaign.  `None` collects all.
+    pub subset: Option<&'a [usize]>,
+    /// Lookup-before-measure: points whose canonical configuration key is
+    /// already in the durable store are answered from it (zero simulated
+    /// runs, no baseline) instead of re-simulated.  Store hits are counted
+    /// in [`CollectionReport::store_hits`] and never journaled — resuming
+    /// a campaign therefore requires the same store, which re-answers them
+    /// identically.
+    pub lookup: Option<&'a crate::store::SampleLookup>,
 }
 
 /// Collects training data by running the IOR workalike over PB-guided
@@ -241,6 +254,19 @@ impl Trainer {
         opts: &CollectOptions,
     ) -> Result<Collection, AcicError> {
         let id = self.campaign_id(points);
+        let wanted: Vec<usize> = match opts.subset {
+            None => (0..points.len()).collect(),
+            Some(ixs) => {
+                let set: std::collections::BTreeSet<usize> = ixs.iter().copied().collect();
+                if let Some(&bad) = set.iter().rev().find(|&&i| i >= points.len()) {
+                    return Err(AcicError::Invalid(format!(
+                        "subset index {bad} out of range for a {}-point campaign",
+                        points.len()
+                    )));
+                }
+                set.into_iter().collect()
+            }
+        };
         let mut restored: BTreeMap<usize, JournalEntry> = BTreeMap::new();
         let writer = match opts.journal {
             None => None,
@@ -259,10 +285,24 @@ impl Trainer {
         let baseline_sys = SystemConfig::baseline();
         let baseline_cache: Mutex<BTreeMap<Vec<u64>, BaselineEntry>> = Mutex::new(BTreeMap::new());
 
-        let todo: Vec<usize> = (0..points.len()).filter(|i| !restored.contains_key(i)).collect();
+        let todo: Vec<usize> =
+            wanted.iter().copied().filter(|i| !restored.contains_key(i)).collect();
         let fresh: Result<Vec<PointRun>, AcicError> = todo
             .par_iter()
             .map(|&i| {
+                if let Some(hit) =
+                    opts.lookup.and_then(|l| l.get(point_key(&points[i])).cloned())
+                {
+                    // Answered from the durable store: no simulation, no
+                    // baseline, nothing journaled (the store itself is the
+                    // durable record; a resume re-answers identically).
+                    return Ok(PointRun {
+                        tp: Some(hit.point),
+                        attempts: hit.attempts,
+                        from_store: true,
+                        ..PointRun::empty(i)
+                    });
+                }
                 let run =
                     self.run_point(i, &points[i], &root, &baseline_sys, &baseline_cache);
                 if let Some(w) = &writer {
@@ -274,22 +314,29 @@ impl Trainer {
         let fresh = fresh?;
 
         // Deterministic assembly: walk points in index order so sums (and
-        // therefore the database bits) never depend on scheduling.
-        let mut slots: Vec<Option<PointRun>> = vec![None; points.len()];
+        // therefore the database bits) never depend on scheduling.  A
+        // journal may hold more than the subset asks for (an adaptive
+        // campaign resumed with a smaller cumulative batch); only wanted
+        // indices are assembled.
+        let mut slots: BTreeMap<usize, PointRun> = BTreeMap::new();
         for (index, entry) in restored {
-            slots[index] = Some(PointRun::from_journal(entry));
+            if wanted.binary_search(&index).is_ok() {
+                slots.insert(index, PointRun::from_journal(entry));
+            }
         }
         for run in fresh {
-            let ix = run.index;
-            slots[ix] = Some(run);
+            slots.insert(run.index, run);
         }
+        debug_assert_eq!(slots.len(), wanted.len());
 
         let mut db = TrainingDb::default();
-        let mut report = CollectionReport { planned: points.len(), ..Default::default() };
-        for slot in slots {
-            let run = slot.expect("every campaign point has exactly one run");
+        let mut report = CollectionReport { planned: wanted.len(), ..Default::default() };
+        for (_, run) in slots {
             if run.resumed {
                 report.resumed += 1;
+            }
+            if run.from_store {
+                report.store_hits += 1;
             }
             match run.tp {
                 Some(tp) => {
@@ -345,6 +392,9 @@ impl Trainer {
             m.incr("train.faults.tolerated", report.faults_tolerated as u64);
             m.incr("train.baseline.runs", report.baseline_runs as u64);
             m.incr("train.db.points", db.len() as u64);
+            if report.store_hits > 0 {
+                m.incr("search.store_hits", report.store_hits as u64);
+            }
             m.observe_secs("train.sim_secs", db.collect_secs);
             m.observe_secs("train.backoff_secs", report.backoff_secs);
             // Simulator arena health: runs executed during this campaign
@@ -431,6 +481,7 @@ impl Trainer {
                     wasted_cost: run.wasted_cost,
                     error: None,
                     resumed: false,
+                    from_store: false,
                 }
             }
             Err(e) => PointRun {
@@ -531,6 +582,9 @@ struct PointRun {
     wasted_cost: f64,
     error: Option<AcicError>,
     resumed: bool,
+    /// Answered from the durable store (lookup-before-measure) — zero
+    /// simulated runs, nothing journaled.
+    from_store: bool,
 }
 
 impl PointRun {
@@ -550,6 +604,7 @@ impl PointRun {
             wasted_cost: 0.0,
             error: None,
             resumed: false,
+            from_store: false,
         }
     }
 
@@ -822,6 +877,15 @@ pub(crate) fn point_bits(p: &SpacePoint) -> Vec<u64> {
     let mut k: Vec<u64> = encode(&p.system, &p.app).iter().map(|v| v.to_bits()).collect();
     k.extend(app_bits(&p.app));
     k
+}
+
+/// The canonical configuration key of a space point: FNV-1a over its
+/// bit-exact encoding.  This is the same key [`crate::store::sample_key`]
+/// derives from a collected observation, which is what lets a planner (or
+/// the trainer's lookup-before-measure path) ask the durable store "has
+/// this exact configuration been measured before?" without re-simulating.
+pub fn point_key(p: &SpacePoint) -> u64 {
+    fnv1a(&point_bits(p))
 }
 
 fn dedup_points(points: Vec<SpacePoint>) -> Vec<SpacePoint> {

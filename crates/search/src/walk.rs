@@ -7,10 +7,16 @@
 //! walks the system dimensions in PB-rank order, sampling each dimension's
 //! values with real (here: simulated) IOR runs of the target application's
 //! characteristics and fixing the best value before moving on.
+//!
+//! The same ⟨S, s0, δ⟩ machinery seeds the adaptive campaign planners of
+//! [`crate::planner`]: [`opening_book`] orders a *grid* of points by their
+//! distance from s0 in perturbed dimensions — single-dimension probes
+//! first, exactly the order δ explores — giving every planner a shared
+//! deterministic cold-start order.  (This module moved here from
+//! `acic::walk` so Figure 9 and the planners share one code path.)
 
-use crate::error::AcicError;
-use crate::objective::Objective;
-use crate::space::{AppPoint, ParamId, SpacePoint, SystemConfig};
+use acic::space::{AppPoint, ParamId, SpacePoint, SystemConfig};
+use acic::{AcicError, Objective};
 use acic_cloudsim::rng::SplitMix64;
 use acic_iobench::run_ior;
 
@@ -148,9 +154,31 @@ pub fn random_walk(
     guided_walk(&order, app, objective, rng.next_u64())
 }
 
+/// The walk's ⟨S, s0, δ⟩ ordering generalized to an enumerated grid: rank
+/// every row by how many feature coordinates differ from the s0 row
+/// (bit-exact comparison, ties broken by grid index, which inherits the
+/// PB-rank odometer order of `Trainer::sample_points`).  Rows perturbing a
+/// single dimension come first — the opening book every planner uses
+/// before it has observations to learn from.
+pub fn opening_book(rows: &[Vec<f64>], s0: &[f64]) -> Vec<usize> {
+    let diffs: Vec<usize> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .zip(s0)
+                .filter(|(a, b)| a.to_bits() != b.to_bits())
+                .count()
+        })
+        .collect();
+    let mut ix: Vec<usize> = (0..rows.len()).collect();
+    ix.sort_by_key(|&i| (diffs[i], i));
+    ix
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acic::Trainer;
     use acic_cloudsim::units::mib;
 
     fn app() -> AppPoint {
@@ -162,7 +190,7 @@ mod tests {
 
     #[test]
     fn walk_never_loses_to_the_baseline() {
-        let ranking = crate::training::Trainer::with_paper_ranking(0).ranking;
+        let ranking = Trainer::with_paper_ranking(0).ranking;
         let w = guided_walk(&ranking, &app(), Objective::Performance, 3).unwrap();
         let (baseline_metric, _) =
             measure(&SystemConfig::baseline(), &app(), Objective::Performance, 3).unwrap();
@@ -175,7 +203,7 @@ mod tests {
 
     #[test]
     fn walk_budget_is_linear_in_dimensions() {
-        let ranking = crate::training::Trainer::with_paper_ranking(0).ranking;
+        let ranking = Trainer::with_paper_ranking(0).ranking;
         let w = guided_walk(&ranking, &app(), Objective::Cost, 5).unwrap();
         // 6 system dims with 2–3 values each: far under the 28-candidate
         // exhaustive sweep.  When the walk stays on NFS, the server-count
@@ -205,7 +233,7 @@ mod tests {
         // with `?`, aborting the entire walk.  Now a dimension whose every
         // candidate fails must degrade to a no-op: baseline config kept,
         // baseline metric intact, failures counted.
-        let ranking = crate::training::Trainer::with_paper_ranking(0).ranking;
+        let ranking = Trainer::with_paper_ranking(0).ranking;
         let a = app();
         let baseline = SystemConfig::baseline();
         let mut failures = 0usize;
@@ -229,7 +257,7 @@ mod tests {
         // A NaN metric compares false against everything; pre-fix it was
         // silently dropped without being counted, and an all-NaN dimension
         // left no trace.  It must be counted as skipped and never win.
-        let ranking = crate::training::Trainer::with_paper_ranking(0).ranking;
+        let ranking = Trainer::with_paper_ranking(0).ranking;
         let a = app();
         let w = walk_with(&ranking, &a, Objective::Performance, 3, &mut |sys, app, obj, seed| {
             if *sys == SystemConfig::baseline() {
@@ -247,7 +275,7 @@ mod tests {
 
     #[test]
     fn non_finite_baseline_is_a_typed_error() {
-        let ranking = crate::training::Trainer::with_paper_ranking(0).ranking;
+        let ranking = Trainer::with_paper_ranking(0).ranking;
         let a = app();
         let err = walk_with(&ranking, &a, Objective::Performance, 3, &mut |_, _, _, _| {
             Ok((f64::NAN, 0.0))
@@ -261,18 +289,31 @@ mod tests {
 
     #[test]
     fn clean_walks_report_zero_skips() {
-        let ranking = crate::training::Trainer::with_paper_ranking(0).ranking;
+        let ranking = Trainer::with_paper_ranking(0).ranking;
         let w = guided_walk(&ranking, &app(), Objective::Performance, 3).unwrap();
         assert_eq!(w.skipped, 0);
     }
 
     #[test]
     fn walk_is_deterministic_per_seed() {
-        let ranking = crate::training::Trainer::with_paper_ranking(0).ranking;
+        let ranking = Trainer::with_paper_ranking(0).ranking;
         let a = app();
         let w1 = guided_walk(&ranking, &a, Objective::Performance, 9).unwrap();
         let w2 = guided_walk(&ranking, &a, Objective::Performance, 9).unwrap();
         assert_eq!(w1.config, w2.config);
         assert_eq!(w1.runs, w2.runs);
+    }
+
+    #[test]
+    fn opening_book_orders_by_perturbation_count_then_index() {
+        let s0 = vec![0.0, 0.0, 0.0];
+        let rows = vec![
+            vec![1.0, 1.0, 1.0], // 3 diffs
+            vec![0.0, 0.0, 0.0], // 0 diffs (s0 itself)
+            vec![0.0, 1.0, 0.0], // 1 diff
+            vec![1.0, 0.0, 0.0], // 1 diff
+            vec![1.0, 1.0, 0.0], // 2 diffs
+        ];
+        assert_eq!(opening_book(&rows, &s0), vec![1, 2, 3, 4, 0]);
     }
 }

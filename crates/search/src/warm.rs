@@ -1,0 +1,154 @@
+//! Cross-application warm start: seed the surrogate from another
+//! application's (or an earlier campaign's) durable store.
+//!
+//! A warm store was measured over a *different* grid — other application
+//! characteristics, possibly other sweep dimensions — so its samples
+//! rarely coincide with the new campaign's points.  Remapping bridges the
+//! gap in feature space: every canonical warm sample is normalized by the
+//! new grid's per-feature ranges, snapped to the nearest grid row
+//! (Euclidean distance in that normalized space, ties to the lower grid
+//! index), and carried in as a pseudo-observation at the snapped row's
+//! features.  The surrogate learns from these [`Observation`]s exactly as
+//! from real history — but they are never journaled, never counted as
+//! measurements, and never shortcut a measurement the planner asks for
+//! (exact-key store hits are the lookup path's job, not the remapper's).
+
+use crate::planner::{Grid, Observation};
+use acic::features::{encode, N_FEATURES};
+use acic::store::{canonicalize, StoreSample};
+use acic::Objective;
+
+/// Cap on remapped priors: enough to shape the surrogate's opening
+/// splits, small enough that real measurements take over quickly (each
+/// real observation carries far more local signal than a remapped one).
+pub const MAX_PRIORS: usize = 256;
+
+/// Remap `samples` (any order, any app) onto `grid` as surrogate priors
+/// for `objective`.  Deterministic: canonicalization fixes the sample
+/// order, and every tie-break is by grid index.
+pub fn remap(samples: &[StoreSample], grid: &Grid, objective: Objective) -> Vec<Observation> {
+    if grid.is_empty() || samples.is_empty() {
+        return Vec::new();
+    }
+    // Per-feature ranges of the target grid (the normalization frame).
+    let mut lo = [f64::INFINITY; N_FEATURES];
+    let mut hi = [f64::NEG_INFINITY; N_FEATURES];
+    for row in &grid.rows {
+        for (j, &v) in row.iter().enumerate() {
+            lo[j] = lo[j].min(v);
+            hi[j] = hi[j].max(v);
+        }
+    }
+    let norm = |row: &[f64]| -> Vec<f64> {
+        row.iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                let span = hi[j] - lo[j];
+                // Degenerate columns (the grid holds one value) carry no
+                // distance signal; collapse them to 0 so a warm sample is
+                // not penalized for differing where the grid cannot.
+                if span > 0.0 {
+                    (v - lo[j]) / span
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    };
+    let grid_norm: Vec<Vec<f64>> = grid.rows.iter().map(|r| norm(r)).collect();
+
+    let mut priors = Vec::new();
+    for s in canonicalize(samples.to_vec()).into_iter().take(MAX_PRIORS) {
+        let row = encode(&s.point.system, &s.point.app);
+        let q = norm(&row);
+        let mut best = (f64::INFINITY, 0usize);
+        for (i, g) in grid_norm.iter().enumerate() {
+            let d2: f64 = q.iter().zip(g).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d2 < best.0 {
+                best = (d2, i);
+            }
+        }
+        let target = match objective {
+            Objective::Performance => s.point.perf_improvement,
+            Objective::Cost => s.point.cost_improvement,
+        };
+        if target.is_finite() {
+            priors.push(Observation { index: None, row: grid.rows[best.1].clone(), target });
+        }
+    }
+    priors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acic::{CollectOptions, Trainer};
+
+    fn store_samples(dims: usize, seed: u64) -> Vec<StoreSample> {
+        let t = Trainer::with_paper_ranking(seed);
+        let points = t.sample_points(dims);
+        let c = t.collect_with(&points, &CollectOptions::default()).unwrap();
+        let id = t.campaign_id(&points);
+        c.db
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| StoreSample::new(id.fingerprint, seed, i, 1, p))
+            .collect()
+    }
+
+    #[test]
+    fn remap_is_deterministic_and_capped() {
+        let t = Trainer::with_paper_ranking(3);
+        let grid = Grid::new(&t.sample_points(4));
+        let samples = store_samples(3, 99);
+        let a = remap(&samples, &grid, Objective::Performance);
+        let b = remap(&samples, &grid, Objective::Performance);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.len() <= MAX_PRIORS);
+        assert!(a.len() <= samples.len());
+    }
+
+    #[test]
+    fn remapped_rows_are_grid_rows() {
+        let t = Trainer::with_paper_ranking(3);
+        let grid = Grid::new(&t.sample_points(3));
+        let samples = store_samples(4, 7);
+        for o in remap(&samples, &grid, Objective::Cost) {
+            assert!(o.index.is_none(), "priors are never grid measurements");
+            assert!(
+                grid.rows.iter().any(|r| r == &o.row),
+                "prior row must be snapped onto the grid"
+            );
+            assert!(o.target.is_finite());
+        }
+    }
+
+    #[test]
+    fn exact_grid_samples_snap_to_themselves() {
+        // A warm sample measured on exactly a grid point must snap to that
+        // point (distance 0), keeping its own improvement as the prior.
+        let t = Trainer::with_paper_ranking(3);
+        let points = t.sample_points(3);
+        let grid = Grid::new(&points);
+        let samples = store_samples(3, 3);
+        let priors = remap(&samples, &grid, Objective::Performance);
+        assert_eq!(priors.len(), samples.len().min(MAX_PRIORS));
+        for (o, s) in priors.iter().zip(canonicalize(samples)) {
+            let own = encode(&s.point.system, &s.point.app);
+            assert_eq!(o.row, own);
+            assert_eq!(o.target, s.point.perf_improvement);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_remap_to_nothing() {
+        let t = Trainer::with_paper_ranking(3);
+        let grid = Grid::new(&t.sample_points(2));
+        assert!(remap(&[], &grid, Objective::Performance).is_empty());
+        let empty = Grid::new(&[]);
+        let samples = store_samples(2, 5);
+        assert!(remap(&samples, &empty, Objective::Performance).is_empty());
+    }
+}

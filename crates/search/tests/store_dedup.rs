@@ -1,0 +1,113 @@
+//! Satellite 1 regression: the trainer must not re-simulate points the
+//! durable store already holds.  Dedup is by the *canonical config key*
+//! (a pure function of the configuration bits), so a re-campaign over the
+//! same configurations in any order — even under a different campaign
+//! fingerprint — is answered entirely from the store.
+
+use acic::training::CollectOptions;
+use acic::{Metrics, Store, Trainer};
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn ingested_store(name: &str, t: &Trainer, points: &[acic::space::SpacePoint]) -> Store {
+    let dir = tmp(name);
+    let _ = fs::remove_dir_all(&dir);
+    let col = t.collect_with(points, &CollectOptions::default()).unwrap();
+    let mut store = Store::open(&dir).unwrap();
+    store.ingest_collection(&t.campaign_id(points), &col).unwrap();
+    store
+}
+
+#[test]
+fn shuffled_recampaign_does_zero_new_simulations() {
+    let t = Trainer::with_paper_ranking(5);
+    let points = t.sample_points(3);
+    let store = ingested_store("dedup-shuffled", &t, &points);
+    let lookup = store.lookup_index();
+    let first = t.collect_with(&points, &CollectOptions::default()).unwrap();
+
+    // Same configurations, reversed order: a different campaign (the
+    // fingerprint covers point order), so every per-point seed changes —
+    // only the canonical config key can connect it to the store.
+    let shuffled: Vec<_> = points.iter().rev().cloned().collect();
+    let m = Metrics::new();
+    let opts = CollectOptions { lookup: Some(&lookup), metrics: Some(&m), ..Default::default() };
+    let re = t.collect_with(&shuffled, &opts).unwrap();
+
+    assert_eq!(re.report.store_hits, points.len(), "every point must be a store hit");
+    assert_eq!(re.report.planned, points.len());
+    assert!(re.report.is_complete());
+    assert_eq!(re.report.baseline_runs, 0, "store hits must not trigger baseline runs");
+    assert_eq!(re.db.collect_secs, 0.0, "zero new simulations means zero simulated time");
+    assert_eq!(re.db.collect_cost_usd, 0.0);
+    assert_eq!(m.counter("search.store_hits"), points.len() as u64);
+
+    // The answered values are the original campaign's, permuted.
+    let n = points.len();
+    for (i, tp) in re.db.points.iter().enumerate() {
+        assert_eq!(*tp, first.db.points[n - 1 - i], "point {i} must come from the store");
+    }
+}
+
+#[test]
+fn partial_store_answers_only_its_half() {
+    let t = Trainer::with_paper_ranking(9);
+    let points = t.sample_points(3);
+    let half: Vec<usize> = (0..points.len() / 2).collect();
+    let dir = tmp("dedup-partial");
+    let _ = fs::remove_dir_all(&dir);
+    let opts = CollectOptions { subset: Some(&half), ..Default::default() };
+    let pre = t.collect_with(&points, &opts).unwrap();
+    let mut store = Store::open(&dir).unwrap();
+    store.ingest_collection(&t.campaign_id(&points), &pre).unwrap();
+    let lookup = store.lookup_index();
+
+    let opts = CollectOptions { lookup: Some(&lookup), ..Default::default() };
+    let col = t.collect_with(&points, &opts).unwrap();
+    assert_eq!(col.report.store_hits, half.len());
+    assert!(col.report.is_complete());
+    // The blended database is bit-identical to an all-simulated campaign:
+    // store answers carry the same deterministic per-point bits.
+    let all = t.collect_with(&points, &CollectOptions::default()).unwrap();
+    assert_eq!(col.db.points, all.db.points);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_store_answers_take_precedence_deterministically() {
+    // A store measured by a *different* campaign (the dims-1 grid, whose
+    // point indices — and therefore per-point seeds — differ) still
+    // answers by config key.  Hit points carry the store's bits verbatim;
+    // misses are untouched; and the blend is deterministic.
+    let t = Trainer::with_paper_ranking(13);
+    let small = t.sample_points(1);
+    let store = ingested_store("dedup-foreign", &t, &small);
+    let lookup = store.lookup_index();
+
+    let points = t.sample_points(3);
+    let plain = t.collect_with(&points, &CollectOptions::default()).unwrap();
+    let opts = CollectOptions { lookup: Some(&lookup), ..Default::default() };
+    let a = t.collect_with(&points, &opts).unwrap();
+    let b = t.collect_with(&points, &opts).unwrap();
+    assert_eq!(a.db, b.db, "foreign-store blending must be deterministic");
+    assert_eq!(a.report.store_hits, b.report.store_hits);
+    assert!(a.report.is_complete());
+    assert!(a.report.store_hits > 0, "the dims-1 grid lives inside the dims-3 grid");
+
+    let mut hits = 0;
+    for (i, (got, want)) in a.db.points.iter().zip(&plain.db.points).enumerate() {
+        if let Some(s) = lookup.get(acic::point_key(&points[i])) {
+            hits += 1;
+            assert_eq!(*got, s.point, "hit {i} must come from the store");
+        } else {
+            assert_eq!(got, want, "miss {i} must be untouched");
+        }
+    }
+    assert_eq!(hits, a.report.store_hits);
+}

@@ -14,8 +14,8 @@
 
 use acic_repro::acic::profile::app_point_from;
 use acic_repro::acic::sweep::Spectrum;
-use acic_repro::acic::walk::{guided_walk, random_walk};
 use acic_repro::acic::{Objective, Trainer};
+use acic_repro::search::{guided_walk, random_walk};
 use acic_repro::apps::{profile, AppModel, MpiBlast};
 use acic_repro::cloudsim::instance::InstanceType;
 

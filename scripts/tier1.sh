@@ -7,7 +7,9 @@
 # (replay determinism across worker counts and across scoring engines, plus
 # BENCH_serve.json), and the cluster gate (trace replay byte-identical across
 # 1/2/4 nodes, verified snapshot replication, a kill → rejoin run, and
-# BENCH_cluster.json).
+# BENCH_cluster.json), and the search gate (same-seed adaptive campaigns
+# byte-identical across fresh stores and kill → resume, plus
+# BENCH_search.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -150,3 +152,52 @@ cargo run --release --offline -p acic-bench --bin bench_cluster
 grep -q '"replay_digests_equal": true' BENCH_cluster.json
 grep -q '"kill_rejoin_digest_match": true' BENCH_cluster.json
 grep -q '"verify_failures": 0' BENCH_cluster.json
+
+# Search gate: the adaptive campaign planner must be a pure function of the
+# campaign — two same-seed bandit runs into *fresh* separate stores plan and
+# measure byte-identically, a kill → resume run (journal chopped to half)
+# replays the same plan, and the two stores publish byte-identical
+# snapshots.  (The stores must be fresh: re-running against a warm store
+# answers proposals for free, which legitimately changes the accounting.)
+rm -rf target/tier1-search-store? target/tier1-search*.txt \
+  target/tier1-search*.journal target/tier1-search-snap?.txt
+for i in 1 2; do
+  $ACIC train --dims 4 --seed 7 --search bandit --budget 10 --batch 4 \
+    --store "target/tier1-search-store$i" --plan-out "target/tier1-search-plan$i.txt" \
+    --out "target/tier1-search-db$i.txt"
+done
+cmp target/tier1-search-plan1.txt target/tier1-search-plan2.txt
+cmp target/tier1-search-db1.txt target/tier1-search-db2.txt
+$ACIC publish --store target/tier1-search-store1 --out target/tier1-search-snap1.txt --seed 7
+$ACIC publish --store target/tier1-search-store2 --out target/tier1-search-snap2.txt --seed 7
+cmp target/tier1-search-snap1.txt target/tier1-search-snap2.txt
+# Kill → resume: run journaled, chop the journal to half its bytes (torn
+# tail), re-run the same campaign — the finished plan must not change.
+$ACIC train --dims 4 --seed 7 --search bandit --budget 10 --batch 4 \
+  --resume target/tier1-search.journal --plan-out target/tier1-search-plan3.txt \
+  --out /dev/null
+J=target/tier1-search.journal
+head -c "$(( $(wc -c < "$J") / 2 ))" "$J" > "$J.cut" && mv "$J.cut" "$J"
+$ACIC train --dims 4 --seed 7 --search bandit --budget 10 --batch 4 \
+  --resume target/tier1-search.journal --plan-out target/tier1-search-plan4.txt \
+  --out /dev/null
+cmp target/tier1-search-plan3.txt target/tier1-search-plan4.txt
+cmp target/tier1-search-plan1.txt target/tier1-search-plan3.txt
+# Re-publishing an untouched store must be an incremental no-op.
+$ACIC publish --store target/tier1-search-store1 --out target/tier1-search-snap1.txt \
+  --seed 7 2> target/tier1-search-pub.log
+grep -q "up to date" target/tier1-search-pub.log
+rm -rf target/tier1-search-store? target/tier1-search*.txt \
+  target/tier1-search*.journal target/tier1-search-pub.log
+
+# Search benchmark artifact (BENCH_search.json at the repo root): bandit or
+# halving within 5% of the full campaign's top-1 at ≤10% of its
+# measurements on both seeded campaigns, warm start strictly cheaper than
+# cold, plans byte-identical across rerun and kill → resume, and zero
+# store-consistency violations (the binary asserts all of it; the greps
+# pin the artifact's verification fields).
+cargo run --release --offline -p acic-bench --bin bench_search
+grep -q '"pass": true' BENCH_search.json
+grep -q '"store_consistency_violations": 0' BENCH_search.json
+grep -q '"within_5pct_apps": 2' BENCH_search.json
+grep -q '"strictly_fewer": true' BENCH_search.json

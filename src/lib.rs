@@ -12,3 +12,4 @@ pub use acic_cloudsim as cloudsim;
 pub use acic_fsim as fsim;
 pub use acic_iobench as iobench;
 pub use acic_pbdesign as pbdesign;
+pub use acic_search as search;
